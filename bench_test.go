@@ -1,0 +1,93 @@
+package logicregression
+
+// Benchmark harness regenerating the paper's measured artifacts (see
+// EXPERIMENTS.md for the mapping):
+//
+//	BenchmarkTableII/<case>       — one sub-benchmark per Table II row
+//	BenchmarkAblationPreprocessing — the Sec. V preprocessing ablation (E2)
+//	BenchmarkAblationKnobs         — the DESIGN.md design-knob ablations (E3)
+//
+// Each iteration performs a full learn + accuracy measurement; the custom
+// metrics attached to every benchmark (gates, acc%, queries) are the table
+// cells. Budgets are scaled down so `go test -bench=. -benchmem` finishes in
+// minutes; `cmd/experiments` exposes the same runs with adjustable budgets.
+
+import (
+	"testing"
+	"time"
+
+	"logicregression/internal/cases"
+	"logicregression/internal/experiments"
+)
+
+// benchBudget keeps the full suite laptop-sized.
+func benchBudget() experiments.Budget {
+	return experiments.Budget{
+		EvalPatterns:      6000,
+		SupportR:          512,
+		MaxTreeNodes:      300,
+		PerCase:           10 * time.Second,
+		BaselineTreeNodes: 800,
+		SOPSamples:        1024,
+		Seed:              1,
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for _, c := range cases.All() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var last experiments.Row
+			for i := 0; i < b.N; i++ {
+				last = experiments.RunCase(c, benchBudget())
+			}
+			b.ReportMetric(float64(last.Ours.Size), "gates")
+			b.ReportMetric(last.Ours.Accuracy, "acc%")
+			b.ReportMetric(float64(last.TreeBase.Size), "base-tree-gates")
+			b.ReportMetric(last.TreeBase.Accuracy, "base-tree-acc%")
+			b.ReportMetric(float64(last.SOPBase.Size), "base-sop-gates")
+			b.ReportMetric(last.SOPBase.Accuracy, "base-sop-acc%")
+		})
+	}
+}
+
+func BenchmarkAblationPreprocessing(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationPreprocessing(benchBudget(), nil)
+	}
+	var sizeX, timeX float64
+	n := 0
+	for _, r := range rows {
+		if r.Case.Type == cases.DIAG || r.Case.Type == cases.DATA {
+			sizeX += r.SizeFactor()
+			timeX += r.TimeFactor()
+			n++
+		}
+	}
+	b.ReportMetric(sizeX/float64(n), "avg-size-blowup-x")
+	b.ReportMetric(timeX/float64(n), "avg-time-blowup-x")
+}
+
+func BenchmarkAblationKnobs(b *testing.B) {
+	var results []experiments.KnobResult
+	for i := 0; i < b.N; i++ {
+		results = experiments.AblationKnobs(benchBudget(), nil)
+	}
+	// Surface one headline number per knob family: the size delta between
+	// the extreme settings.
+	bySetting := map[string]experiments.Entry{}
+	for _, r := range results {
+		bySetting[r.Knob+"="+r.Setting] = r.Entry
+	}
+	if a, ok1 := bySetting["treeR=15"]; ok1 {
+		if c, ok2 := bySetting["treeR=240"]; ok2 && c.Size > 0 {
+			b.ReportMetric(a.Accuracy-c.Accuracy, "treeR-15-vs-240-accdelta")
+		}
+	}
+	if a, ok1 := bySetting["alwaysOnset=true"]; ok1 {
+		if c, ok2 := bySetting["alwaysOnset=false"]; ok2 && c.Size > 0 {
+			b.ReportMetric(float64(a.Size)/float64(c.Size), "alwaysOnset-size-x")
+		}
+	}
+}

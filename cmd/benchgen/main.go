@@ -1,0 +1,71 @@
+// Command benchgen writes the 20 synthetic contest cases as text netlists,
+// one file per case, plus a MANIFEST.txt with the Table II metadata. These
+// files can be fed back to logicreg -netlist and evaluate -golden.
+//
+// Usage:
+//
+//	benchgen -dir ./bench
+//	benchgen -case case_12 > case_12.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"logicregression/internal/cases"
+	"logicregression/internal/circuit"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "directory to write all case netlists into")
+		caseName = flag.String("case", "", "write a single case to stdout")
+	)
+	flag.Parse()
+
+	if *caseName != "" {
+		c, err := cases.ByName(*caseName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := circuit.WriteNetlist(os.Stdout, c.Circuit); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "benchgen: -dir or -case is required")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	manifest, err := os.Create(filepath.Join(*dir, "MANIFEST.txt"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	defer manifest.Close()
+	fmt.Fprintf(manifest, "%-8s %-4s %6s %6s %8s %7s\n", "name", "type", "#PI", "#PO", "gates", "hidden")
+	for _, c := range cases.All() {
+		path := filepath.Join(*dir, c.Name+".net")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := circuit.WriteNetlist(f, c.Circuit); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(manifest, "%-8s %-4s %6d %6d %8d %7v\n",
+			c.Name, c.Type, c.Circuit.NumPI(), c.Circuit.NumPO(), c.Circuit.Size(), c.Hidden)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}

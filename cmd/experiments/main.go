@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's measured artifacts on the
+// synthetic benchmark suite:
+//
+//	experiments -table2                 # Table II, all 20 cases
+//	experiments -table2 -only case_4,case_16
+//	experiments -ablation               # Sec. V preprocessing ablation
+//	experiments -knobs                  # DESIGN.md design-choice ablations
+//
+// Budgets are scaled for a laptop by default; raise -patterns / -percase /
+// -support-r toward the paper's numbers (1500000 patterns, 2700 s, r=7200)
+// for a full-fidelity run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"logicregression/internal/experiments"
+)
+
+func main() {
+	var (
+		table2   = flag.Bool("table2", false, "regenerate Table II")
+		ablation = flag.Bool("ablation", false, "regenerate the preprocessing ablation")
+		knobs    = flag.Bool("knobs", false, "run the design-knob ablations")
+		only     = flag.String("only", "", "comma-separated case subset for -table2")
+		patterns = flag.Int("patterns", 30000, "accuracy test patterns per case")
+		perCase  = flag.Duration("percase", 60*time.Second, "per-learner time budget per case")
+		supportR = flag.Int("support-r", 768, "support-identification samples per input")
+		seed     = flag.Int64("seed", 0, "experiment seed")
+		ext      = flag.Bool("extensions", false, "run 'ours' with the beyond-paper extensions (extended templates + refinement)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if !*table2 && !*ablation && !*knobs {
+		fmt.Fprintln(os.Stderr, "experiments: pass at least one of -table2, -ablation, -knobs")
+		os.Exit(1)
+	}
+	b := experiments.Budget{
+		EvalPatterns: *patterns,
+		PerCase:      *perCase,
+		SupportR:     *supportR,
+		Seed:         *seed,
+		Extensions:   *ext,
+	}
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	if *table2 {
+		var sel []string
+		if *only != "" {
+			sel = strings.Split(*only, ",")
+		}
+		rows := experiments.TableII(sel, b, progress)
+		fmt.Println("== Table II: comparison against the baseline learners ==")
+		experiments.PrintTableII(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *ablation {
+		rows := experiments.AblationPreprocessing(b, progress)
+		fmt.Println("== Section V ablation: preprocessing on/off ==")
+		experiments.PrintAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *knobs {
+		results := experiments.AblationKnobs(b, progress)
+		fmt.Println("== Design-choice ablations (DESIGN.md E3) ==")
+		experiments.PrintKnobs(os.Stdout, results)
+	}
+}

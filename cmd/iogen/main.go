@@ -1,0 +1,67 @@
+// Command iogen serves a black-box IO-relation generator over TCP, playing
+// the role of the contest's external pattern-generator executable. Point
+// logicreg -remote at it to learn across the wire.
+//
+//	iogen -case case_16 -listen 127.0.0.1:9000
+//	iogen -netlist golden.net -listen :9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"logicregression/internal/cases"
+	"logicregression/internal/circuit"
+	"logicregression/internal/ioserve"
+	"logicregression/internal/oracle"
+)
+
+func main() {
+	var (
+		caseName = flag.String("case", "", "built-in case name (case_1..case_20)")
+		netlist  = flag.String("netlist", "", "netlist file to serve")
+		listen   = flag.String("listen", "127.0.0.1:9000", "listen address")
+	)
+	flag.Parse()
+
+	var o oracle.Oracle
+	switch {
+	case *caseName != "":
+		c, err := cases.ByName(*caseName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+		o = c.Oracle()
+	case *netlist != "":
+		f, err := os.Open(*netlist)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+		c, err := circuit.ParseNetlist(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+		o = oracle.FromCircuit(c)
+	default:
+		fmt.Fprintln(os.Stderr, "iogen: -case or -netlist is required")
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iogen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "iogen: serving %d-in/%d-out black box on %s\n",
+		o.NumInputs(), o.NumOutputs(), ln.Addr())
+	if err := ioserve.NewServer(o).Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "iogen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+// Command logicreg learns a circuit for a black-box function.
+//
+// The black box is either one of the built-in synthetic contest cases
+// (-case case_7) or a golden netlist file treated as a black box
+// (-netlist design.net). The learned circuit is written as a text netlist
+// to -out (default stdout) together with a learning report on stderr.
+//
+// Usage:
+//
+//	logicreg -case case_16 -out learned.net
+//	logicreg -netlist golden.net -seed 7 -time 60s -out learned.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"logicregression/internal/cases"
+	"logicregression/internal/circuit"
+	"logicregression/internal/core"
+	"logicregression/internal/eval"
+	"logicregression/internal/ioserve"
+	"logicregression/internal/oracle"
+)
+
+func main() {
+	var (
+		caseName  = flag.String("case", "", "built-in case name (case_1..case_20)")
+		netlist   = flag.String("netlist", "", "golden netlist file to treat as the black box")
+		remote    = flag.String("remote", "", "address of a remote iogen black box (host:port)")
+		outPath   = flag.String("out", "", "output netlist path (default stdout)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeLimit = flag.Duration("time", 0, "learning time limit (0 = none)")
+		supportR  = flag.Int("support-r", 0, "support-identification samples per input (default 2048; paper 7200)")
+		treeR     = flag.Int("tree-r", 0, "per-node samples in the decision tree (default 60)")
+		maxNodes  = flag.Int("max-tree-nodes", 0, "node budget per output tree (0 = unlimited)")
+		noPre     = flag.Bool("no-preprocess", false, "disable name grouping + template matching")
+		noOpt     = flag.Bool("no-opt", false, "disable circuit optimization")
+		hidden    = flag.Bool("hidden-compression", false, "hunt for hidden comparators and compress inputs")
+		selfCheck = flag.Int("self-check", 0, "after learning, measure accuracy with this many patterns")
+		record    = flag.String("record", "", "record every black-box query to this transcript file")
+	)
+	flag.Parse()
+
+	o, closer, err := loadOracle(*caseName, *netlist, *remote)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logicreg:", err)
+		os.Exit(1)
+	}
+	if closer != nil {
+		defer closer()
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logicreg:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec, err := oracle.NewRecorder(o, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logicreg:", err)
+			os.Exit(1)
+		}
+		o = rec
+	}
+
+	res := core.Learn(o, core.Options{
+		Seed:                 *seed,
+		TimeLimit:            *timeLimit,
+		SupportR:             *supportR,
+		TreeR:                *treeR,
+		MaxTreeNodes:         *maxNodes,
+		DisablePreprocessing: *noPre,
+		DisableOptimization:  *noOpt,
+		HiddenCompression:    *hidden,
+	})
+
+	fmt.Fprintf(os.Stderr, "learned: %s\n", res)
+	for _, or := range res.Outputs {
+		fmt.Fprintf(os.Stderr, "  %-24s %-20s support=%-3d cubes=%-5d negated=%-5v truncated=%v\n",
+			or.Name, or.Method, or.Support, or.Cubes, or.Negated, or.Truncated)
+	}
+
+	if *selfCheck > 0 {
+		rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: *selfCheck, Seed: *seed + 1})
+		fmt.Fprintf(os.Stderr, "self-check: %s\n", rep)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logicreg:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := circuit.WriteNetlist(w, res.Circuit); err != nil {
+		fmt.Fprintln(os.Stderr, "logicreg:", err)
+		os.Exit(1)
+	}
+}
+
+func loadOracle(caseName, netlist, remote string) (oracle.Oracle, func(), error) {
+	set := 0
+	for _, s := range []string{caseName, netlist, remote} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, nil, fmt.Errorf("exactly one of -case, -netlist, -remote is required")
+	}
+	switch {
+	case caseName != "":
+		c, err := cases.ByName(caseName)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.Oracle(), nil, nil
+	case netlist != "":
+		f, err := os.Open(netlist)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		c, err := circuit.ParseNetlist(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return oracle.FromCircuit(c), nil, nil
+	default:
+		cl, err := ioserve.Dial(remote)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl, func() { cl.Close() }, nil
+	}
+}

@@ -1,0 +1,134 @@
+// Command optimize runs the circuit-optimization pipeline (strash, rewrite,
+// cut refactoring, FRAIG, BDD collapse, optional balancing) on a standalone
+// netlist — the piece the paper delegates to ABC, usable here on any circuit.
+//
+//	optimize -in learned.net -out smaller.net
+//	optimize -in design.blif -format verilog -out design_opt.v -balance
+//
+// Input format is chosen by extension (.blif, .v/.sv, else text netlist);
+// -format picks the output encoding (netlist, blif, verilog, aiger, dot).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/circuit"
+	"logicregression/internal/opt"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input circuit (required)")
+		outPath = flag.String("out", "", "output path (default stdout)")
+		format  = flag.String("format", "netlist", "output format: netlist, blif, verilog, aiger, dot")
+		seed    = flag.Int64("seed", 1, "FRAIG simulation seed")
+		limit   = flag.Duration("time", 60*time.Second, "optimization time limit")
+		balance = flag.Bool("balance", false, "also balance for depth")
+		script  = flag.String("script", "", "explicit pass sequence, e.g. \"strash; rewrite; fraig\" (overrides the default pipeline)")
+		verify  = flag.Bool("verify", true, "SAT-verify equivalence of the result")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "optimize: -in is required")
+		os.Exit(2)
+	}
+	c, err := readAny(*inPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(2)
+	}
+
+	before := c.Stats()
+	cfg := opt.Config{
+		Seed:         *seed,
+		TimeLimit:    *limit,
+		BalanceDepth: *balance,
+	}
+	var optimized *circuit.Circuit
+	if *script != "" {
+		optimized, err = opt.RunScript(c, *script, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimize:", err)
+			os.Exit(2)
+		}
+	} else {
+		optimized = opt.Optimize(c, cfg)
+	}
+	after := optimized.Stats()
+	fmt.Fprintf(os.Stderr, "optimize: %d -> %d gates, depth %d -> %d\n",
+		before.Gates, after.Gates, before.Depth, after.Depth)
+
+	if *verify {
+		eq, done := opt.ProveEquivalent(c, optimized, 0)
+		switch {
+		case done && eq:
+			fmt.Fprintln(os.Stderr, "optimize: equivalence PROVEN")
+		case done:
+			fmt.Fprintln(os.Stderr, "optimize: INTERNAL ERROR — result not equivalent; writing original")
+			optimized = c
+		default:
+			fmt.Fprintln(os.Stderr, "optimize: equivalence undecided within budget")
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimize:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeAs(w, optimized, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(2)
+	}
+}
+
+func readAny(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".blif":
+		return circuit.ParseBLIF(f)
+	case ".v", ".sv":
+		return circuit.ParseVerilog(f)
+	case ".aag":
+		g, err := aig.ParseAIGER(f)
+		if err != nil {
+			return nil, err
+		}
+		return g.ToCircuit(), nil
+	default:
+		return circuit.ParseNetlist(f)
+	}
+}
+
+func writeAs(w io.Writer, c *circuit.Circuit, format string) error {
+	switch format {
+	case "netlist":
+		return circuit.WriteNetlist(w, c)
+	case "blif":
+		return circuit.WriteBLIF(w, c, "optimized")
+	case "verilog":
+		return circuit.WriteVerilog(w, c, "optimized")
+	case "aiger":
+		return aig.WriteAIGER(w, aig.FromCircuit(c))
+	case "dot":
+		return circuit.WriteDOT(w, c)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

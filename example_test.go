@@ -1,0 +1,47 @@
+package logicregression_test
+
+import (
+	"fmt"
+
+	"logicregression"
+)
+
+// ExampleLearn learns a circuit for a hidden 3-input function exposed only
+// through the black-box interface.
+func ExampleLearn() {
+	hidden := logicregression.NewFuncOracle(
+		[]string{"sel", "a", "b"},
+		[]string{"out"},
+		func(in []bool) []bool {
+			if in[0] {
+				return []bool{in[1]}
+			}
+			return []bool{in[2]}
+		},
+	)
+	res := logicregression.Learn(hidden, logicregression.Options{Seed: 1})
+	rep := logicregression.Accuracy(hidden,
+		logicregression.NewCircuitOracle(res.Circuit),
+		logicregression.EvalConfig{Patterns: 10000, Seed: 1})
+	fmt.Printf("outputs=%d accuracy=%.2f%%\n", res.Circuit.NumPO(), rep.Accuracy*100)
+	// Output: outputs=1 accuracy=100.00%
+}
+
+// ExampleLearn_template shows template matching settling a bus comparator
+// instantly: the output report names the method used per output.
+func ExampleLearn_template() {
+	c, err := logicregression.CaseByName("case_16")
+	if err != nil {
+		panic(err)
+	}
+	res := logicregression.Learn(c.Oracle(), logicregression.Options{Seed: 2})
+	fmt.Println(res.Outputs[0].Method)
+	// Output: template-comparator
+}
+
+// ExampleCases enumerates the synthetic Table II benchmark suite.
+func ExampleCases() {
+	all := logicregression.Cases()
+	fmt.Println(len(all), all[0].Name, all[0].Type)
+	// Output: 20 case_1 ECO
+}

@@ -1,0 +1,3 @@
+module logicregression
+
+go 1.22

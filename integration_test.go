@@ -1,0 +1,180 @@
+package logicregression
+
+// Integration tests: run the full pipeline on representative synthetic
+// contest cases and assert the paper's qualitative outcomes. The heavier
+// cases are skipped under -short.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/circuit"
+	"logicregression/internal/experiments"
+	"logicregression/internal/opt"
+)
+
+func learnCase(t *testing.T, name string, patterns int) (res *Result, rep Report) {
+	t.Helper()
+	c, err := CaseByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := c.Oracle()
+	res = Learn(golden, Options{Seed: 7, SupportR: 768, MaxTreeNodes: 400, TimeLimit: 20 * time.Second})
+	rep = Accuracy(golden, NewCircuitOracle(res.Circuit), EvalConfig{Patterns: patterns, Seed: 3})
+	return res, rep
+}
+
+func TestIntegrationDIAGCasesExact(t *testing.T) {
+	for _, name := range []string{"case_16", "case_20"} {
+		res, rep := learnCase(t, name, 10000)
+		if rep.Accuracy != 1 {
+			t.Errorf("%s: accuracy %.4f, want 1 (outputs %+v)", name, rep.Accuracy, res.Outputs)
+		}
+		if res.TemplateMatches != len(res.Outputs) {
+			t.Errorf("%s: %d/%d template matches", name, res.TemplateMatches, len(res.Outputs))
+		}
+	}
+}
+
+func TestIntegrationDATACaseExact(t *testing.T) {
+	res, rep := learnCase(t, "case_12", 10000)
+	if rep.Accuracy != 1 {
+		t.Fatalf("case_12 accuracy %.4f (outputs %+v)", rep.Accuracy, res.Outputs)
+	}
+}
+
+func TestIntegrationECOCaseExact(t *testing.T) {
+	res, rep := learnCase(t, "case_13", 10000)
+	if rep.Accuracy != 1 {
+		t.Fatalf("case_13 accuracy %.4f", rep.Accuracy)
+	}
+	if res.Size > 300 {
+		t.Fatalf("case_13 size %d, suspiciously large", res.Size)
+	}
+}
+
+func TestIntegrationNEQCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NEQ miter learn takes a few seconds")
+	}
+	_, rep := learnCase(t, "case_10", 10000)
+	if rep.Accuracy != 1 {
+		t.Fatalf("case_10 accuracy %.4f", rep.Accuracy)
+	}
+}
+
+func TestIntegrationBeatsBaselinesOnEasyCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three learners per case")
+	}
+	c, err := CaseByName("case_7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := experiments.RunCase(c, experiments.Budget{
+		EvalPatterns: 6000,
+		SupportR:     512,
+		PerCase:      10 * time.Second,
+		SOPSamples:   512,
+		Seed:         1,
+	})
+	if row.Ours.Accuracy < row.TreeBase.Accuracy || row.Ours.Accuracy < row.SOPBase.Accuracy {
+		t.Fatalf("ours %.3f%% vs baselines %.3f%% / %.3f%%",
+			row.Ours.Accuracy, row.TreeBase.Accuracy, row.SOPBase.Accuracy)
+	}
+	if row.Ours.Size >= row.TreeBase.Size/10 {
+		t.Fatalf("size gap too small: %d vs %d", row.Ours.Size, row.TreeBase.Size)
+	}
+}
+
+func TestIntegrationHardCaseFailsAsInPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hard case takes seconds")
+	}
+	// case_14 is the paper's 28%-accuracy case: nobody learns it. Assert
+	// the learner returns within budget and below the contest bar, i.e.
+	// the truncation machinery produces a circuit instead of hanging.
+	c, err := CaseByName("case_14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := c.Oracle()
+	start := time.Now()
+	res := Learn(golden, Options{
+		Seed: 7, SupportR: 256, MaxTreeNodes: 80,
+		TimeLimit: 10 * time.Second,
+	})
+	if time.Since(start) > 2*time.Minute {
+		t.Fatal("hard case blew through its budget")
+	}
+	rep := Accuracy(golden, NewCircuitOracle(res.Circuit), EvalConfig{Patterns: 6000, Seed: 3})
+	if rep.Accuracy > 0.9999 {
+		t.Fatalf("case_14 learned to %.4f: synthetic case too easy", rep.Accuracy)
+	}
+	truncated := false
+	for _, o := range res.Outputs {
+		if o.Truncated {
+			truncated = true
+		}
+	}
+	if !truncated {
+		t.Fatal("no output reported truncation on the hard case")
+	}
+}
+
+func TestLearnedCircuitSurvivesAllFormats(t *testing.T) {
+	// Learn a case, then push the result through every interchange format
+	// and SAT-prove each round trip equivalent.
+	c, err := CaseByName("case_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Learn(c.Oracle(), Options{Seed: 9})
+	learned := res.Circuit
+
+	type codec struct {
+		write func(*bytes.Buffer) error
+		read  func(*bytes.Buffer) (*Circuit, error)
+	}
+	codecs := map[string]codec{
+		"netlist": {
+			write: func(b *bytes.Buffer) error { return circuit.WriteNetlist(b, learned) },
+			read:  func(b *bytes.Buffer) (*Circuit, error) { return circuit.ParseNetlist(b) },
+		},
+		"blif": {
+			write: func(b *bytes.Buffer) error { return circuit.WriteBLIF(b, learned, "t") },
+			read:  func(b *bytes.Buffer) (*Circuit, error) { return circuit.ParseBLIF(b) },
+		},
+		"verilog": {
+			write: func(b *bytes.Buffer) error { return circuit.WriteVerilog(b, learned, "t") },
+			read:  func(b *bytes.Buffer) (*Circuit, error) { return circuit.ParseVerilog(b) },
+		},
+		"aiger": {
+			write: func(b *bytes.Buffer) error { return aig.WriteAIGER(b, aig.FromCircuit(learned)) },
+			read: func(b *bytes.Buffer) (*Circuit, error) {
+				g, err := aig.ParseAIGER(b)
+				if err != nil {
+					return nil, err
+				}
+				return g.ToCircuit(), nil
+			},
+		},
+	}
+	for name, cd := range codecs {
+		var buf bytes.Buffer
+		if err := cd.write(&buf); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		back, err := cd.read(&buf)
+		if err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		eq, done := opt.ProveEquivalent(learned, back, 0)
+		if !done || !eq {
+			t.Fatalf("%s round trip not equivalent (eq=%v done=%v)", name, eq, done)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package aig
+
+// ASCII AIGER ("aag") reader and writer, the standard AIG interchange format
+// of the hardware model checking community. Only the combinational subset is
+// supported (no latches), which is all this project needs; files with
+// latches are rejected explicitly. Symbol table entries carry the PI/PO
+// names so round trips preserve the naming information the learner depends
+// on.
+//
+// Format reference: Biere, "The AIGER And-Inverter Graph (AIG) Format".
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteAIGER serializes g in ASCII AIGER format. Node numbering follows the
+// internal layout: PI i is AIGER variable i+1 (literal 2i+2) — node 0 is the
+// constant, as in AIGER.
+func WriteAIGER(w io.Writer, g *AIG) error {
+	bw := bufio.NewWriter(w)
+	// M I L O A: max variable index, inputs, latches, outputs, ands.
+	nAnds := g.NumNodes() - 1 - g.numPIs
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", g.NumNodes()-1, g.numPIs, len(g.pos), nAnds)
+	for i := 0; i < g.numPIs; i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(g.PI(i)))
+	}
+	for _, po := range g.pos {
+		fmt.Fprintf(bw, "%d\n", aigerLit(po))
+	}
+	for n := g.numPIs + 1; n < g.NumNodes(); n++ {
+		fmt.Fprintf(bw, "%d %d %d\n",
+			uint(2*n), aigerLit(g.nodes[n].fan0), aigerLit(g.nodes[n].fan1))
+	}
+	for i, name := range g.piNames {
+		fmt.Fprintf(bw, "i%d %s\n", i, name)
+	}
+	for i, name := range g.poNames {
+		fmt.Fprintf(bw, "o%d %s\n", i, name)
+	}
+	fmt.Fprintln(bw, "c")
+	fmt.Fprintln(bw, "written by logicregression")
+	return bw.Flush()
+}
+
+// aigerLit converts an internal edge to an AIGER literal: the node index is
+// the AIGER variable, complement is the low bit.
+func aigerLit(l Lit) uint {
+	v := uint(2 * l.Node())
+	if l.Compl() {
+		v |= 1
+	}
+	return v
+}
+
+// ParseAIGER reads an ASCII AIGER file. Latches are rejected. Missing
+// symbol-table names default to "i<N>"/"o<N>".
+func ParseAIGER(r io.Reader) (*AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aiger: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aiger: bad header %q (binary 'aig' format unsupported; use aag)", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := range nums {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", header[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nLatch != 0 {
+		return nil, fmt.Errorf("aiger: %d latches present; only combinational AIGs are supported", nLatch)
+	}
+	if maxVar < nIn+nAnd {
+		return nil, fmt.Errorf("aiger: header M=%d < I+A=%d", maxVar, nIn+nAnd)
+	}
+
+	readLit := func(field string, max int) (uint, error) {
+		v, err := strconv.Atoi(field)
+		if err != nil || v < 0 || v/2 > max {
+			return 0, fmt.Errorf("aiger: bad literal %q", field)
+		}
+		return uint(v), nil
+	}
+	nextLine := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+
+	piNames := make([]string, nIn)
+	poNames := make([]string, nOut)
+	inputLits := make([]uint, nIn)
+	for i := range inputLits {
+		line, err := nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated inputs: %w", err)
+		}
+		lit, err := readLit(line, maxVar)
+		if err != nil {
+			return nil, err
+		}
+		if lit%2 == 1 || lit == 0 {
+			return nil, fmt.Errorf("aiger: input literal %d invalid", lit)
+		}
+		inputLits[i] = lit
+	}
+	outputLits := make([]uint, nOut)
+	for i := range outputLits {
+		line, err := nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated outputs: %w", err)
+		}
+		lit, err := readLit(line, maxVar)
+		if err != nil {
+			return nil, err
+		}
+		outputLits[i] = lit
+	}
+
+	// Map AIGER variable -> internal edge. Inputs may be any even literals
+	// in AIGER, though in practice (and in our writer) they are 2..2I.
+	varEdge := make(map[uint]Lit, maxVar+1)
+	varEdge[0] = False
+	for i, lit := range inputLits {
+		varEdge[lit/2] = MkLit(i+1, false)
+	}
+	type andLine struct{ lhs, rhs0, rhs1 uint }
+	ands := make([]andLine, nAnd)
+	for i := range ands {
+		line, err := nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated ands: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("aiger: bad and line %q", line)
+		}
+		lhs, err := readLit(fields[0], maxVar)
+		if err != nil {
+			return nil, err
+		}
+		rhs0, err := readLit(fields[1], maxVar)
+		if err != nil {
+			return nil, err
+		}
+		rhs1, err := readLit(fields[2], maxVar)
+		if err != nil {
+			return nil, err
+		}
+		if lhs%2 == 1 {
+			return nil, fmt.Errorf("aiger: and lhs %d is complemented", lhs)
+		}
+		ands[i] = andLine{lhs: lhs, rhs0: rhs0, rhs1: rhs1}
+	}
+
+	// Symbol table and comments.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "c" {
+			break
+		}
+		if line == "" {
+			continue
+		}
+		kind := line[0]
+		rest := line[1:]
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(rest[:sp])
+		if err != nil {
+			continue
+		}
+		name := rest[sp+1:]
+		switch kind {
+		case 'i':
+			if idx >= 0 && idx < nIn {
+				piNames[idx] = name
+			}
+		case 'o':
+			if idx >= 0 && idx < nOut {
+				poNames[idx] = name
+			}
+		}
+	}
+	for i, n := range piNames {
+		if n == "" {
+			piNames[i] = fmt.Sprintf("i%d", i)
+		}
+	}
+	for i, n := range poNames {
+		if n == "" {
+			poNames[i] = fmt.Sprintf("o%d", i)
+		}
+	}
+
+	g := New(piNames)
+	edge := func(lit uint) (Lit, error) {
+		e, ok := varEdge[lit/2]
+		if !ok {
+			return 0, fmt.Errorf("aiger: literal %d references undefined variable", lit)
+		}
+		if lit%2 == 1 {
+			e = e.Not()
+		}
+		return e, nil
+	}
+	// AIGER requires ands in topological order (lhs > rhs), so one pass
+	// suffices.
+	for _, a := range ands {
+		e0, err := edge(a.rhs0)
+		if err != nil {
+			return nil, err
+		}
+		e1, err := edge(a.rhs1)
+		if err != nil {
+			return nil, err
+		}
+		varEdge[a.lhs/2] = g.And(e0, e1)
+	}
+	for i, lit := range outputLits {
+		e, err := edge(lit)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(poNames[i], e)
+	}
+	return g, nil
+}

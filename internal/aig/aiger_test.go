@@ -1,0 +1,144 @@
+package aig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAIGERRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 5, 30, 3)
+		g := FromCircuit(c)
+		var buf bytes.Buffer
+		if err := WriteAIGER(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseAIGER(&buf)
+		if err != nil {
+			t.Fatalf("ParseAIGER: %v", err)
+		}
+		if back.NumPIs() != g.NumPIs() || back.NumPOs() != g.NumPOs() {
+			t.Fatalf("arity changed: %d/%d", back.NumPIs(), back.NumPOs())
+		}
+		for i, name := range g.PINames() {
+			if back.PINames()[i] != name {
+				t.Fatalf("PI name %d: %q vs %q", i, back.PINames()[i], name)
+			}
+		}
+		for i, name := range g.PONames() {
+			if back.PONames()[i] != name {
+				t.Fatalf("PO name %d lost", i)
+			}
+		}
+		in := make([]uint64, g.NumPIs())
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		w1 := g.EvalPOs(in)
+		w2 := back.EvalPOs(in)
+		for j := range w1 {
+			if w1[j] != w2[j] {
+				t.Fatalf("trial %d: AIGER round trip changed output %d", trial, j)
+			}
+		}
+	}
+}
+
+func TestAIGERConstantOutputs(t *testing.T) {
+	g := New([]string{"a"})
+	g.AddPO("zero", False)
+	g.AddPO("one", True)
+	g.AddPO("pass", g.PI(0))
+	var buf bytes.Buffer
+	if err := WriteAIGER(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAIGER(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := back.EvalPOs([]uint64{0xF0})
+	if out[0] != 0 || out[1] != ^uint64(0) || out[2] != 0xF0 {
+		t.Fatalf("constants wrong: %x %x %x", out[0], out[1], out[2])
+	}
+}
+
+func TestAIGERKnownFile(t *testing.T) {
+	// Hand-written half adder: s = a XOR b, c = a AND b.
+	// v3 = a AND b (carry); v4 = ~a AND ~b; v5 = ~v3 AND ~v4 = a XOR b.
+	text := `aag 5 2 0 2 3
+2
+4
+6
+10
+6 2 4
+8 3 5
+10 7 9
+i0 a
+i1 b
+o0 c
+o1 s
+c
+half adder
+`
+	g, err := ParseAIGER(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 2 {
+		t.Fatalf("arity %d/%d", g.NumPIs(), g.NumPOs())
+	}
+	for p := 0; p < 4; p++ {
+		var in [2]uint64
+		if p&1 == 1 {
+			in[0] = ^uint64(0)
+		}
+		if p>>1&1 == 1 {
+			in[1] = ^uint64(0)
+		}
+		out := g.EvalPOs(in[:])
+		a, b := p&1 == 1, p>>1&1 == 1
+		if (out[0]&1 == 1) != (a && b) {
+			t.Fatalf("carry wrong at %d", p)
+		}
+		if (out[1]&1 == 1) != (a != b) {
+			t.Fatalf("sum wrong at %d", p)
+		}
+	}
+	if g.PINames()[0] != "a" || g.PONames()[1] != "s" {
+		t.Fatal("symbol table ignored")
+	}
+}
+
+func TestAIGERRejectsBadInputs(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad magic":    "aig 1 1 0 0 0\n2\n",
+		"latches":      "aag 1 0 1 0 0\n2 3\n",
+		"neg field":    "aag -1 0 0 0 0\n",
+		"truncated":    "aag 3 2 0 1 1\n2\n4\n6\n",
+		"odd input":    "aag 1 1 0 0 0\n3\n",
+		"compl lhs":    "aag 3 1 0 1 1\n2\n7\n7 2 2\n",
+		"undef var":    "aag 3 1 0 1 1\n2\n6\n6 2 40\n",
+		"short header": "aag 1 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseAIGER(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAIGERMissingSymbolsGetDefaults(t *testing.T) {
+	text := "aag 1 1 0 1 0\n2\n2\n"
+	g, err := ParseAIGER(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PINames()[0] != "i0" || g.PONames()[0] != "o0" {
+		t.Fatalf("default names wrong: %v %v", g.PINames(), g.PONames())
+	}
+}

@@ -1,0 +1,30 @@
+package aig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzParseAIGER(f *testing.F) {
+	f.Add("aag 1 1 0 1 0\n2\n2\n")
+	f.Add("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 z\nc\n")
+	f.Add("aag 0 0 0 1 0\n0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseAIGER(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteAIGER(&buf, g); err != nil {
+			t.Fatalf("write after parse: %v", err)
+		}
+		back, err := ParseAIGER(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, buf.String())
+		}
+		if back.NumPIs() != g.NumPIs() || back.NumPOs() != g.NumPOs() {
+			t.Fatal("arity changed in round trip")
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"logicregression/internal/circuit"
+	"logicregression/internal/eval"
+	"logicregression/internal/oracle"
+)
+
+func smallOracle() (*circuit.Circuit, oracle.Oracle) {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	d := c.AddPI("d")
+	c.AddPO("f", c.Or(c.And(a, b), d))
+	return c, oracle.FromCircuit(c)
+}
+
+func TestFixedOrderTreeLearnsSmallFunctionExactly(t *testing.T) {
+	golden, o := smallOracle()
+	res := FixedOrderTree(o, TreeOptions{Seed: 1})
+	rep := eval.Measure(oracle.FromCircuit(golden), oracle.FromCircuit(res.Circuit),
+		eval.Config{Patterns: 3000, Seed: 1})
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy = %f, want 1", rep.Accuracy)
+	}
+	if res.Truncated {
+		t.Fatal("small function should not truncate")
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries counted")
+	}
+}
+
+func TestFixedOrderTreeTruncatesOnBudget(t *testing.T) {
+	// 12-input parity with a tiny node budget must truncate.
+	c := circuit.New()
+	var in []circuit.Signal
+	for i := 0; i < 12; i++ {
+		in = append(in, c.AddPI("x"+string(rune('a'+i))))
+	}
+	c.AddPO("p", c.XorTree(in))
+	o := oracle.FromCircuit(c)
+	res := FixedOrderTree(o, TreeOptions{Seed: 2, MaxNodes: 10})
+	if !res.Truncated {
+		t.Fatal("expected truncation")
+	}
+	rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 3000, Seed: 2})
+	if rep.Accuracy > 0.95 {
+		t.Fatalf("truncated parity accuracy = %f, implausibly high", rep.Accuracy)
+	}
+}
+
+func TestFixedOrderTreeDeadline(t *testing.T) {
+	c := circuit.New()
+	var in []circuit.Signal
+	for i := 0; i < 14; i++ {
+		in = append(in, c.AddPI("x"+string(rune('a'+i))))
+	}
+	c.AddPO("p", c.XorTree(in))
+	o := oracle.FromCircuit(c)
+	start := time.Now()
+	res := FixedOrderTree(o, TreeOptions{Seed: 3, Deadline: time.Now().Add(-time.Second), MaxNodes: 1 << 20})
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("deadline ignored")
+	}
+	if !res.Truncated {
+		t.Fatal("expected truncation at deadline")
+	}
+}
+
+func TestFixedOrderTreeBiggerThanNecessary(t *testing.T) {
+	// f = x7 (a single passthrough): the fixed order forces splits through
+	// x0..x6 first at many nodes, yielding a larger circuit than needed —
+	// the baseline's signature weakness.
+	c := circuit.New()
+	var in []circuit.Signal
+	for i := 0; i < 8; i++ {
+		in = append(in, c.AddPI("x"+string(rune('a'+i))))
+	}
+	c.AddPO("f", in[7])
+	o := oracle.FromCircuit(c)
+	res := FixedOrderTree(o, TreeOptions{Seed: 4})
+	rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 3000, Seed: 3})
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy = %f", rep.Accuracy)
+	}
+}
+
+func TestSampleSOPPerfectOnNearConstant(t *testing.T) {
+	// f = AND of 6 inputs: almost always 0; minority minterms are rare and
+	// fully memorizable only if sampled. With biased pools the all-ones
+	// assignment appears, giving high (often perfect) accuracy.
+	c := circuit.New()
+	var in []circuit.Signal
+	for i := 0; i < 6; i++ {
+		in = append(in, c.AddPI("x"+string(rune('a'+i))))
+	}
+	c.AddPO("f", c.AndTree(in))
+	o := oracle.FromCircuit(c)
+	res := SampleSOP(o, SOPOptions{Seed: 5, Samples: 2048})
+	rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 6000, Seed: 4})
+	if rep.Accuracy < 0.98 {
+		t.Fatalf("accuracy = %f, want >= 0.98", rep.Accuracy)
+	}
+}
+
+func TestSampleSOPWeakOnBalancedFunction(t *testing.T) {
+	// 16-input parity cannot be memorized from 2k samples: accuracy ~0.5.
+	c := circuit.New()
+	var in []circuit.Signal
+	for i := 0; i < 16; i++ {
+		in = append(in, c.AddPI("x"+string(rune('a'+i))))
+	}
+	c.AddPO("p", c.XorTree(in))
+	o := oracle.FromCircuit(c)
+	res := SampleSOP(o, SOPOptions{Seed: 6, Samples: 2048})
+	rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 6000, Seed: 5})
+	if rep.Accuracy > 0.7 {
+		t.Fatalf("parity memorization accuracy = %f, implausibly high", rep.Accuracy)
+	}
+	// And its circuit is enormous relative to the function it "learned".
+	if res.Circuit.Size() < 1000 {
+		t.Fatalf("memorizer size = %d, expected blow-up", res.Circuit.Size())
+	}
+}
+
+func TestSampleSOPQueriesEqualSamples(t *testing.T) {
+	_, o := smallOracle()
+	res := SampleSOP(o, SOPOptions{Seed: 7, Samples: 500})
+	if res.Queries != 500 {
+		t.Fatalf("queries = %d, want 500", res.Queries)
+	}
+}
+
+func TestBaselinesPreserveNames(t *testing.T) {
+	golden, o := smallOracle()
+	for name, learned := range map[string]*circuit.Circuit{
+		"tree": FixedOrderTree(o, TreeOptions{Seed: 8}).Circuit,
+		"sop":  SampleSOP(o, SOPOptions{Seed: 8, Samples: 256}).Circuit,
+	} {
+		if got := learned.PINames(); got[0] != "a" || got[2] != "d" {
+			t.Fatalf("%s: PI names = %v", name, got)
+		}
+		if got := learned.PONames(); got[0] != golden.PONames()[0] {
+			t.Fatalf("%s: PO names = %v", name, got)
+		}
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	_, o := smallOracle()
+	a := FixedOrderTree(o, TreeOptions{Seed: 9})
+	b := FixedOrderTree(o, TreeOptions{Seed: 9})
+	if a.Circuit.Size() != b.Circuit.Size() || a.Queries != b.Queries {
+		t.Fatal("FixedOrderTree not deterministic")
+	}
+	s1 := SampleSOP(o, SOPOptions{Seed: 9, Samples: 300})
+	s2 := SampleSOP(o, SOPOptions{Seed: 9, Samples: 300})
+	if s1.Circuit.Size() != s2.Circuit.Size() {
+		t.Fatal("SampleSOP not deterministic")
+	}
+}
+
+func TestFixedOrderTreeMultiOutput(t *testing.T) {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	d := c.AddPI("d")
+	c.AddPO("f", c.And(a, b))
+	c.AddPO("g", c.Or(b, d))
+	c.AddPO("h", c.Const(false))
+	o := oracle.FromCircuit(c)
+	res := FixedOrderTree(o, TreeOptions{Seed: 10})
+	rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 3000, Seed: 4})
+	if rep.Accuracy != 1 {
+		t.Fatalf("multi-output accuracy = %f", rep.Accuracy)
+	}
+	if res.Circuit.NumPO() != 3 {
+		t.Fatalf("PO count = %d", res.Circuit.NumPO())
+	}
+}

@@ -1,0 +1,404 @@
+// Package bdd implements reduced ordered binary decision diagrams with an
+// ITE-based operation core and Minato-Morreale irredundant SOP extraction.
+// In the optimization pipeline it plays the role of ABC's `collapse`
+// command: small-support logic cones are collapsed into their canonical
+// function and resynthesized from a compact cover.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/sop"
+)
+
+// ErrBudget is returned when a construction exceeds the manager node budget.
+var ErrBudget = errors.New("bdd: node budget exceeded")
+
+// Ref is a BDD node reference. 0 is constant false, 1 is constant true.
+type Ref = int
+
+// Constant references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type bnode struct {
+	level  int // variable index; terminals use level == manager.nvars
+	lo, hi Ref
+}
+
+// Manager owns BDD nodes over a fixed variable count and order (variable i
+// is at level i).
+type Manager struct {
+	nvars    int
+	nodes    []bnode
+	unique   map[bnode]Ref
+	iteCache map[[3]Ref]Ref
+	maxNodes int
+}
+
+// NewManager creates a manager for nvars variables with a node budget
+// (0 = default 1<<22).
+func NewManager(nvars, maxNodes int) *Manager {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 22
+	}
+	m := &Manager{
+		nvars:    nvars,
+		unique:   make(map[bnode]Ref),
+		iteCache: make(map[[3]Ref]Ref),
+		maxNodes: maxNodes,
+	}
+	m.nodes = append(m.nodes,
+		bnode{level: nvars}, // False
+		bnode{level: nvars}, // True
+	)
+	return m
+}
+
+// NumNodes returns the allocated node count (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+type budgetPanic struct{}
+
+func (m *Manager) mk(level int, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := bnode{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	if len(m.nodes) >= m.maxNodes {
+		panic(budgetPanic{})
+	}
+	m.nodes = append(m.nodes, key)
+	r := Ref(len(m.nodes) - 1)
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(i, False, True)
+}
+
+func (m *Manager) level(r Ref) int { return m.nodes[r].level }
+
+func (m *Manager) cofactors(r Ref, level int) (lo, hi Ref) {
+	if m.nodes[r].level != level {
+		return r, r
+	}
+	return m.nodes[r].lo, m.nodes[r].hi
+}
+
+// ITE computes if-then-else(f, g, h).
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r
+	}
+	level := min(m.level(f), min(m.level(g), m.level(h)))
+	f0, f1 := m.cofactors(f, level)
+	g0, g1 := m.cofactors(g, level)
+	h0, h1 := m.cofactors(h, level)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(level, lo, hi)
+	m.iteCache[key] = r
+	return r
+}
+
+// Not returns the complement.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Eval evaluates the function at a full assignment (len >= nvars).
+func (m *Manager) Eval(f Ref, assignment []bool) bool {
+	for f != False && f != True {
+		n := m.nodes[f]
+		if assignment[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over all nvars
+// variables (as float64 to tolerate wide supports). It computes the
+// satisfying fraction, which is order- and level-independent, and scales by
+// 2^nvars.
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var frac func(r Ref) float64
+	frac = func(r Ref) float64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		v := (frac(n.lo) + frac(n.hi)) / 2
+		memo[r] = v
+		return v
+	}
+	return frac(f) * pow2(m.nvars)
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// Support returns the variable indices the function depends on, ascending.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int]bool)
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		vars[m.nodes[r].level] = true
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := 0; v < m.nvars; v++ {
+		if vars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Guard runs f and converts a node-budget overflow inside it into
+// ErrBudget, so callers can keep using a manager for post-construction
+// operations (Not, ISOP, ...) that may themselves allocate nodes.
+func (m *Manager) Guard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(budgetPanic); ok {
+				err = ErrBudget
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// FromAIGOutput builds the BDD of output po of an AIG, mapping PI i to
+// variable i. It returns ErrBudget when the diagram exceeds the node budget.
+func FromAIGOutput(g *aig.AIG, po int, maxNodes int) (m *Manager, root Ref, err error) {
+	m = NewManager(g.NumPIs(), maxNodes)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(budgetPanic); ok {
+				m, root, err = nil, False, ErrBudget
+				return
+			}
+			panic(r)
+		}
+	}()
+	memo := make(map[int]Ref)
+	var build func(n int) Ref
+	build = func(n int) Ref {
+		if n == 0 {
+			return False
+		}
+		if n <= g.NumPIs() {
+			return m.Var(n - 1)
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		f0, f1 := g.Fanins(n)
+		a := build(f0.Node())
+		if f0.Compl() {
+			a = m.Not(a)
+		}
+		b := build(f1.Node())
+		if f1.Compl() {
+			b = m.Not(b)
+		}
+		r := m.And(a, b)
+		memo[n] = r
+		return r
+	}
+	l := g.PO(po)
+	root = build(l.Node())
+	if l.Compl() {
+		root = m.Not(root)
+	}
+	return m, root, nil
+}
+
+// FromTruthTable builds the BDD of a function given as a truth table over
+// the listed variables: table[i] is f at the minterm whose bit j (of i)
+// gives the value of vars[j]. vars must be strictly ascending (they become
+// the BDD order top-down). len(table) must be 1<<len(vars).
+func FromTruthTable(m *Manager, table []bool, vars []int) Ref {
+	if len(table) != 1<<uint(len(vars)) {
+		panic(fmt.Sprintf("bdd: table length %d for %d vars", len(table), len(vars)))
+	}
+	for j := 1; j < len(vars); j++ {
+		if vars[j] <= vars[j-1] {
+			panic("bdd: vars must be strictly ascending")
+		}
+	}
+	return m.fromTT(table, vars)
+}
+
+// fromTT recursively splits on vars[0] (the topmost level): the subfunction
+// with vars[0]=0 lives at even minterm indices, =1 at odd indices.
+func (m *Manager) fromTT(table []bool, vars []int) Ref {
+	if len(vars) == 0 {
+		if table[0] {
+			return True
+		}
+		return False
+	}
+	half := len(table) / 2
+	lo := make([]bool, half)
+	hi := make([]bool, half)
+	for i := 0; i < half; i++ {
+		lo[i] = table[2*i]
+		hi[i] = table[2*i+1]
+	}
+	l := m.fromTT(lo, vars[1:])
+	h := m.fromTT(hi, vars[1:])
+	return m.mk(vars[0], l, h)
+}
+
+// ISOP computes an irredundant sum-of-products cover of f using the
+// Minato-Morreale procedure. Cube variables are BDD variable indices.
+//
+// Beware: some functions (parity chains) have small BDDs but exponential
+// covers; use ISOPBounded when the input function is not known to be
+// cover-friendly.
+func (m *Manager) ISOP(f Ref) sop.Cover {
+	st := &isopState{memo: make(map[[2]Ref]isopResult), maxCubes: -1}
+	cover, _ := m.isop(f, f, st)
+	return cover
+}
+
+// ISOPBounded is ISOP with a cube budget: it returns ErrBudget (and no
+// cover) once more than maxCubes cubes would be produced, which protects
+// callers from functions with compact BDDs but exponential covers.
+func (m *Manager) ISOPBounded(f Ref, maxCubes int) (cover sop.Cover, err error) {
+	st := &isopState{memo: make(map[[2]Ref]isopResult), maxCubes: maxCubes}
+	err = m.Guard(func() {
+		cover, _ = m.isop(f, f, st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cover, nil
+}
+
+type isopResult struct {
+	cover sop.Cover
+	fn    Ref
+}
+
+// isopState carries the memo table and the cube budget (-1 = unlimited).
+type isopState struct {
+	memo     map[[2]Ref]isopResult
+	maxCubes int
+	produced int
+}
+
+func (st *isopState) charge(n int) {
+	if st.maxCubes < 0 {
+		return
+	}
+	st.produced += n
+	if st.produced > st.maxCubes {
+		panic(budgetPanic{})
+	}
+}
+
+// isop computes a cover C with L <= C <= U, returning the cover and the BDD
+// of its function.
+func (m *Manager) isop(L, U Ref, st *isopState) (sop.Cover, Ref) {
+	if L == False {
+		return nil, False
+	}
+	if U == True {
+		st.charge(1)
+		return sop.Cover{sop.Cube{}}, True
+	}
+	key := [2]Ref{L, U}
+	if r, ok := st.memo[key]; ok {
+		// Memo hits still produce cover copies downstream: charge them so
+		// exponential cover assembly trips the budget even when the BDD
+		// subproblem count stays small.
+		st.charge(len(r.cover))
+		return r.cover.Clone(), r.fn
+	}
+	level := min(m.level(L), m.level(U))
+	L0, L1 := m.cofactors(L, level)
+	U0, U1 := m.cofactors(U, level)
+
+	// Cubes that must contain the negative literal of var `level`.
+	Lneg := m.And(L0, m.Not(U1))
+	c0, f0 := m.isop(Lneg, U0, st)
+	// Cubes that must contain the positive literal.
+	Lpos := m.And(L1, m.Not(U0))
+	c1, f1 := m.isop(Lpos, U1, st)
+	// Remainder covered by cubes free of var `level`.
+	Lrem := m.Or(m.And(L0, m.Not(f0)), m.And(L1, m.Not(f1)))
+	Urem := m.And(U0, U1)
+	cd, fd := m.isop(Lrem, Urem, st)
+
+	var cover sop.Cover
+	for _, c := range c0 {
+		cover = append(cover, c.With(sop.Literal{Var: level, Neg: true}))
+	}
+	for _, c := range c1 {
+		cover = append(cover, c.With(sop.Literal{Var: level, Neg: false}))
+	}
+	cover = append(cover, cd...)
+
+	x := m.Var(level)
+	fn := m.Or(fd, m.Or(m.And(m.Not(x), f0), m.And(x, f1)))
+	st.memo[key] = isopResult{cover: cover.Clone(), fn: fn}
+	return cover, fn
+}

@@ -1,0 +1,283 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if !v.Zero() {
+			t.Fatalf("New(%d) not zero", n)
+		}
+		if v.OnesCount() != 0 {
+			t.Fatalf("New(%d) OnesCount = %d", n, v.OnesCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d initially set", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Flip", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d clear after second Flip", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Set(false)", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Get(10) },
+		func() { v.Get(-1) },
+		func() { v.Set(10, true) },
+		func() { v.Flip(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromBoolsRoundTrip(t *testing.T) {
+	bs := []bool{true, false, true, true, false, false, true}
+	v := FromBools(bs)
+	got := v.Bools()
+	if len(got) != len(bs) {
+		t.Fatalf("len = %d, want %d", len(got), len(bs))
+	}
+	for i := range bs {
+		if got[i] != bs[i] {
+			t.Fatalf("bit %d = %v, want %v", i, got[i], bs[i])
+		}
+	}
+}
+
+func TestFromUintRoundTrip(t *testing.T) {
+	for _, x := range []uint64{0, 1, 2, 5, 0xdeadbeef, ^uint64(0)} {
+		v := FromUint(x, 64)
+		if v.Uint() != x {
+			t.Fatalf("Uint = %d, want %d", v.Uint(), x)
+		}
+	}
+	// Truncation to n bits.
+	v := FromUint(0xff, 4)
+	if v.Uint() != 0xf {
+		t.Fatalf("truncated Uint = %d, want 15", v.Uint())
+	}
+}
+
+func TestSetAllAndTailMask(t *testing.T) {
+	v := New(70)
+	v.SetAll(true)
+	if v.OnesCount() != 70 {
+		t.Fatalf("OnesCount after SetAll(true) = %d, want 70", v.OnesCount())
+	}
+	v.SetAll(false)
+	if !v.Zero() {
+		t.Fatal("not zero after SetAll(false)")
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	v := New(70)
+	w := New(70)
+	w.Not(v)
+	if w.OnesCount() != 70 {
+		t.Fatalf("Not(zero) OnesCount = %d, want 70", w.OnesCount())
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	x := FromBools([]bool{true, true, false, false})
+	y := FromBools([]bool{true, false, true, false})
+	and, or, xor := New(4), New(4), New(4)
+	and.And(x, y)
+	or.Or(x, y)
+	xor.Xor(x, y)
+	wantAnd := []bool{true, false, false, false}
+	wantOr := []bool{true, true, true, false}
+	wantXor := []bool{false, true, true, false}
+	for i := 0; i < 4; i++ {
+		if and.Get(i) != wantAnd[i] {
+			t.Errorf("and bit %d = %v", i, and.Get(i))
+		}
+		if or.Get(i) != wantOr[i] {
+			t.Errorf("or bit %d = %v", i, or.Get(i))
+		}
+		if xor.Get(i) != wantXor[i] {
+			t.Errorf("xor bit %d = %v", i, xor.Get(i))
+		}
+	}
+}
+
+func TestLogicOpsAliasing(t *testing.T) {
+	x := FromUint(0b1100, 4)
+	y := FromUint(0b1010, 4)
+	x.And(x, y) // aliased destination
+	if x.Uint() != 0b1000 {
+		t.Fatalf("aliased And = %b, want 1000", x.Uint())
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	x, y := New(4), New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	New(4).And(x, y)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromUint(0b101, 3)
+	w := v.Clone()
+	w.Flip(0)
+	if !v.Get(0) {
+		t.Fatal("Clone is not independent")
+	}
+	if w.Get(0) {
+		t.Fatal("Flip on clone had no effect")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := New(8)
+	src := FromUint(0xa5, 8)
+	v.CopyFrom(src)
+	if !v.Equal(src) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !New(5).Equal(New(5)) {
+		t.Fatal("equal zero vectors reported unequal")
+	}
+	if New(5).Equal(New(6)) {
+		t.Fatal("different lengths reported equal")
+	}
+	a := FromUint(3, 5)
+	b := FromUint(3, 5)
+	if !a.Equal(b) {
+		t.Fatal("identical vectors unequal")
+	}
+	b.Flip(4)
+	if a.Equal(b) {
+		t.Fatal("different vectors equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := FromUint(0b0110, 4)
+	if s := v.String(); s != "0b0110" {
+		t.Fatalf("String = %q, want 0b0110", s)
+	}
+}
+
+// Property: De Morgan's law holds on random vectors.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x, y := New(n), New(n)
+		for i := 0; i < n; i++ {
+			x.Set(i, rng.Intn(2) == 1)
+			y.Set(i, rng.Intn(2) == 1)
+		}
+		lhs, rhs := New(n), New(n)
+		tmp := New(n)
+		// NOT(x AND y)
+		tmp.And(x, y)
+		lhs.Not(tmp)
+		// NOT x OR NOT y
+		nx, ny := New(n), New(n)
+		nx.Not(x)
+		ny.Not(y)
+		rhs.Or(nx, ny)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XOR is its own inverse.
+func TestQuickXorInverse(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x, y := New(n), New(n)
+		for i := 0; i < n; i++ {
+			x.Set(i, rng.Intn(2) == 1)
+			y.Set(i, rng.Intn(2) == 1)
+		}
+		z := New(n)
+		z.Xor(x, y)
+		z.Xor(z, y)
+		return z.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OnesCount(x XOR y) equals Hamming distance computed bitwise.
+func TestQuickOnesCountXor(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x, y := New(n), New(n)
+		dist := 0
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(2) == 1, rng.Intn(2) == 1
+			x.Set(i, a)
+			y.Set(i, b)
+			if a != b {
+				dist++
+			}
+		}
+		z := New(n)
+		z.Xor(x, y)
+		return z.OnesCount() == dist
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

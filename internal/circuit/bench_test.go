@@ -1,0 +1,55 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCircuit(nPI, nGates int) (*Circuit, []uint64) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCircuit(rng, nPI, nGates, 4)
+	in := make([]uint64, nPI)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	return c, in
+}
+
+func BenchmarkEvalWords1K(b *testing.B) {
+	c, in := benchCircuit(64, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EvalWords(in)
+	}
+	b.ReportMetric(float64(64*1000), "gate-evals/op")
+}
+
+func BenchmarkEvalWords100K(b *testing.B) {
+	c, in := benchCircuit(128, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EvalWords(in)
+	}
+}
+
+func BenchmarkEvalScalar(b *testing.B) {
+	c, _ := benchCircuit(64, 1000)
+	assign := make([]bool, 64)
+	for i := range assign {
+		assign[i] = i%3 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Eval(assign)
+	}
+}
+
+func BenchmarkAdder64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		x := c.AddPIWord("x", 64)
+		y := c.AddPIWord("y", 64)
+		c.AddPOWord("s", c.AddWords(x, y))
+	}
+}

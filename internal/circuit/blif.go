@@ -1,0 +1,274 @@
+package circuit
+
+// BLIF (Berkeley Logic Interchange Format) writer and subset reader, so
+// learned netlists can move to and from external logic-synthesis tools (the
+// paper post-processes with ABC, which speaks BLIF natively).
+//
+// The writer emits one .names block per gate with its truth table in the
+// standard single-output-cover form. The reader accepts the combinational
+// subset: .model/.inputs/.outputs/.names/.end, with arbitrary
+// single-output-cover tables of up to 16 inputs per .names block (covering
+// everything we emit and typical ABC output).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteBLIF serializes the circuit as a combinational BLIF model.
+func WriteBLIF(w io.Writer, c *Circuit, modelName string) error {
+	if modelName == "" {
+		modelName = "logicregression"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", modelName)
+	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(c.piNames, " "))
+	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(c.poNames, " "))
+
+	names := make([]string, len(c.nodes))
+	for i, pi := range c.pis {
+		names[pi] = c.piNames[i]
+	}
+	for id, n := range c.nodes {
+		if n.Type == PI {
+			continue
+		}
+		if names[id] == "" {
+			names[id] = fmt.Sprintf("n%d", id)
+		}
+		switch n.Type {
+		case Const0:
+			fmt.Fprintf(bw, ".names %s\n", names[id]) // empty cover = 0
+		case Const1:
+			fmt.Fprintf(bw, ".names %s\n1\n", names[id])
+		case Buf:
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", names[n.In0], names[id])
+		case Not:
+			fmt.Fprintf(bw, ".names %s %s\n0 1\n", names[n.In0], names[id])
+		default:
+			fmt.Fprintf(bw, ".names %s %s %s\n%s", names[n.In0], names[n.In1], names[id], gateCover(n.Type))
+		}
+	}
+	// Output drivers: alias each PO name to its driver via a buffer table
+	// (BLIF has no explicit PO binding beyond net names).
+	for i, s := range c.pos {
+		if names[s] != c.poNames[i] {
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", names[s], c.poNames[i])
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// gateCover returns the single-output-cover rows of a 2-input gate.
+func gateCover(t GateType) string {
+	switch t {
+	case And:
+		return "11 1\n"
+	case Or:
+		return "1- 1\n-1 1\n"
+	case Xor:
+		return "10 1\n01 1\n"
+	case Nand:
+		return "0- 1\n-0 1\n"
+	case Nor:
+		return "00 1\n"
+	case Xnor:
+		return "11 1\n00 1\n"
+	}
+	panic(fmt.Sprintf("circuit: no BLIF cover for %v", t))
+}
+
+// ParseBLIF reads a combinational BLIF model (subset; see package comment).
+func ParseBLIF(r io.Reader) (*Circuit, error) {
+	type namesBlock struct {
+		nets []string // inputs then output net
+		rows []string // cover rows like "1-" -> value
+		vals []byte   // '0' or '1' per row
+	}
+	var (
+		inputs, outputs []string
+		blocks          []namesBlock
+		sawModel        bool
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	nextLogical := func() (string, bool) {
+		// BLIF allows '\' line continuation.
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			for strings.HasSuffix(line, "\\") && sc.Scan() {
+				line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(sc.Text())
+			}
+			return line, true
+		}
+		return "", false
+	}
+	var cur *namesBlock
+	flush := func() {
+		if cur != nil {
+			blocks = append(blocks, *cur)
+			cur = nil
+		}
+	}
+	for {
+		line, ok := nextLogical()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, ".model"):
+			sawModel = true
+		case strings.HasPrefix(line, ".inputs"):
+			flush()
+			inputs = append(inputs, strings.Fields(line)[1:]...)
+		case strings.HasPrefix(line, ".outputs"):
+			flush()
+			outputs = append(outputs, strings.Fields(line)[1:]...)
+		case strings.HasPrefix(line, ".names"):
+			flush()
+			cur = &namesBlock{nets: strings.Fields(line)[1:]}
+			if len(cur.nets) == 0 {
+				return nil, fmt.Errorf("blif: .names with no nets")
+			}
+			if len(cur.nets) > 17 {
+				return nil, fmt.Errorf("blif: .names with %d inputs unsupported (max 16)", len(cur.nets)-1)
+			}
+		case strings.HasPrefix(line, ".end"):
+			flush()
+		case strings.HasPrefix(line, "."):
+			return nil, fmt.Errorf("blif: unsupported construct %q", strings.Fields(line)[0])
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("blif: cover row %q outside .names", line)
+			}
+			fields := strings.Fields(line)
+			switch {
+			case len(fields) == 1 && len(cur.nets) == 1:
+				// Constant table: row is just the output value.
+				cur.rows = append(cur.rows, "")
+				cur.vals = append(cur.vals, fields[0][0])
+			case len(fields) == 2:
+				cur.rows = append(cur.rows, fields[0])
+				cur.vals = append(cur.vals, fields[1][0])
+			default:
+				return nil, fmt.Errorf("blif: bad cover row %q", line)
+			}
+		}
+	}
+	flush()
+	if !sawModel {
+		return nil, fmt.Errorf("blif: missing .model")
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("blif: missing .outputs")
+	}
+
+	c := New()
+	sig := make(map[string]Signal, len(inputs)+len(blocks))
+	for _, name := range inputs {
+		if _, dup := sig[name]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", name)
+		}
+		sig[name] = c.AddPI(name)
+	}
+	// Blocks may be out of order; resolve iteratively.
+	remaining := blocks
+	for len(remaining) > 0 {
+		progress := false
+		var defer2 []namesBlock
+		for _, b := range remaining {
+			ready := true
+			for _, net := range b.nets[:len(b.nets)-1] {
+				if _, ok := sig[net]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				defer2 = append(defer2, b)
+				continue
+			}
+			s, err := buildNames(c, b.nets, b.rows, b.vals, sig)
+			if err != nil {
+				return nil, err
+			}
+			out := b.nets[len(b.nets)-1]
+			if _, dup := sig[out]; dup {
+				return nil, fmt.Errorf("blif: net %q driven twice", out)
+			}
+			sig[out] = s
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("blif: cyclic or dangling .names blocks")
+		}
+		remaining = defer2
+	}
+	for _, name := range outputs {
+		s, ok := sig[name]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q undriven", name)
+		}
+		c.AddPO(name, s)
+	}
+	return c, nil
+}
+
+// buildNames synthesizes one single-output-cover table as gates.
+func buildNames(c *Circuit, nets []string, rows []string, vals []byte, sig map[string]Signal) (Signal, error) {
+	nIn := len(nets) - 1
+	if nIn == 0 {
+		// Constant: any row with value '1' makes it 1 (standard BLIF:
+		// empty cover is constant 0, a single "1" row is constant 1).
+		for _, v := range vals {
+			if v == '1' {
+				return c.Const(true), nil
+			}
+		}
+		return c.Const(false), nil
+	}
+	// BLIF single-output covers are either all-1 rows (ON-set listed) or
+	// all-0 rows (OFF-set listed, output complemented).
+	onSet := true
+	for i, v := range vals {
+		if i == 0 {
+			onSet = v == '1'
+		} else if (v == '1') != onSet {
+			return 0, fmt.Errorf("blif: mixed cover polarities in .names %s", nets[nIn])
+		}
+	}
+	ins := make([]Signal, nIn)
+	for i, net := range nets[:nIn] {
+		ins[i] = sig[net]
+	}
+	var terms []Signal
+	for _, row := range rows {
+		if len(row) != nIn {
+			return 0, fmt.Errorf("blif: row %q width %d, want %d", row, len(row), nIn)
+		}
+		var lits []Signal
+		for i := 0; i < nIn; i++ {
+			switch row[i] {
+			case '1':
+				lits = append(lits, ins[i])
+			case '0':
+				lits = append(lits, c.NotGate(ins[i]))
+			case '-':
+			default:
+				return 0, fmt.Errorf("blif: bad cover character %q", row[i])
+			}
+		}
+		terms = append(terms, c.AndTree(lits))
+	}
+	out := c.OrTree(terms)
+	if !onSet {
+		out = c.NotGate(out)
+	}
+	return out, nil
+}

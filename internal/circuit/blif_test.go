@@ -1,0 +1,167 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBLIFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		orig := randomCircuit(rng, 6, 30, 3)
+		var buf bytes.Buffer
+		if err := WriteBLIF(&buf, orig, "trial"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseBLIF(&buf)
+		if err != nil {
+			t.Fatalf("ParseBLIF: %v", err)
+		}
+		if back.NumPI() != orig.NumPI() || back.NumPO() != orig.NumPO() {
+			t.Fatalf("arity changed")
+		}
+		for k := 0; k < 100; k++ {
+			a := make([]bool, orig.NumPI())
+			for i := range a {
+				a[i] = rng.Intn(2) == 1
+			}
+			w1 := orig.Eval(a)
+			w2 := back.Eval(a)
+			for j := range w1 {
+				if w1[j] != w2[j] {
+					t.Fatalf("trial %d: BLIF round trip changed output %d", trial, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBLIFConstantsRoundTrip(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	c.AddPO("one", c.Const(true))
+	c.AddPO("zero", c.Const(false))
+	c.AddPO("buf", c.BufGate(a))
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, c, ""); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBLIF(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := back.Eval([]bool{true})
+	if out[0] != true || out[1] != false || out[2] != true {
+		t.Fatalf("constants = %v", out)
+	}
+}
+
+func TestParseBLIFHandWritten(t *testing.T) {
+	// A mux written with don't-cares and out-of-order blocks.
+	text := `# hand-written mux
+.model mux
+.inputs s a b
+.outputs z
+.names t0 t1 z
+1- 1
+-1 1
+.names s a t0
+11 1
+.names s b t1
+01 1
+.end
+`
+	c, err := ParseBLIF(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 8; m++ {
+		s, a, b := m&1 == 1, m>>1&1 == 1, m>>2&1 == 1
+		want := b
+		if s {
+			want = a
+		}
+		if got := c.Eval([]bool{s, a, b})[0]; got != want {
+			t.Fatalf("mux(%v,%v,%v) = %v", s, a, b, got)
+		}
+	}
+}
+
+func TestParseBLIFOffsetCover(t *testing.T) {
+	// Output listed via its OFF-set: z is 0 iff a=1,b=1 (i.e. z = NAND).
+	text := ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 0\n.end\n"
+	c, err := ParseBLIF(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		a, b := m&1 == 1, m>>1&1 == 1
+		if got := c.Eval([]bool{a, b})[0]; got != !(a && b) {
+			t.Fatalf("offset cover wrong at (%v,%v)", a, b)
+		}
+	}
+}
+
+func TestParseBLIFLineContinuation(t *testing.T) {
+	text := ".model m\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n"
+	c, err := ParseBLIF(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPI() != 2 {
+		t.Fatalf("inputs = %d", c.NumPI())
+	}
+}
+
+func TestParseBLIFErrors(t *testing.T) {
+	cases := map[string]string{
+		"no model":      ".inputs a\n.outputs z\n.names a z\n1 1\n.end\n",
+		"no outputs":    ".model m\n.inputs a\n.names a z\n1 1\n.end\n",
+		"latch":         ".model m\n.inputs a\n.outputs z\n.latch a z 0\n.end\n",
+		"undriven out":  ".model m\n.inputs a\n.outputs z\n.end\n",
+		"row outside":   ".model m\n.inputs a\n.outputs z\n11 1\n.end\n",
+		"cyclic":        ".model m\n.inputs a\n.outputs z\n.names z z\n1 1\n.end\n",
+		"double driver": ".model m\n.inputs a\n.outputs z\n.names a z\n1 1\n.names a z\n0 1\n.end\n",
+		"mixed cover":   ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n00 0\n.end\n",
+		"bad char":      ".model m\n.inputs a b\n.outputs z\n.names a b z\n1x 1\n.end\n",
+		"bad width":     ".model m\n.inputs a b\n.outputs z\n.names a b z\n111 1\n.end\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseBLIF(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteBLIFCoversEveryGateType(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPO("f1", c.And(a, b))
+	c.AddPO("f2", c.Or(a, b))
+	c.AddPO("f3", c.Xor(a, b))
+	c.AddPO("f4", c.Nand(a, b))
+	c.AddPO("f5", c.Nor(a, b))
+	c.AddPO("f6", c.Xnor(a, b))
+	c.AddPO("f7", c.NotGate(a))
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, c, "allgates"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBLIF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		av, bv := m&1 == 1, m>>1&1 == 1
+		want := []bool{av && bv, av || bv, av != bv, !(av && bv), !(av || bv), av == bv, !av}
+		got := back.Eval([]bool{av, bv})
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("gate %d wrong at (%v,%v)", j, av, bv)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicGatesTruthTables(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPO("and", c.And(a, b))
+	c.AddPO("or", c.Or(a, b))
+	c.AddPO("xor", c.Xor(a, b))
+	c.AddPO("nand", c.Nand(a, b))
+	c.AddPO("nor", c.Nor(a, b))
+	c.AddPO("xnor", c.Xnor(a, b))
+	c.AddPO("nota", c.NotGate(a))
+	c.AddPO("bufa", c.BufGate(a))
+
+	for _, tc := range []struct {
+		a, b bool
+		want []bool // and or xor nand nor xnor nota bufa
+	}{
+		{false, false, []bool{false, false, false, true, true, true, true, false}},
+		{false, true, []bool{false, true, true, true, false, false, true, false}},
+		{true, false, []bool{false, true, true, true, false, false, false, true}},
+		{true, true, []bool{true, true, false, false, false, true, false, true}},
+	} {
+		got := c.Eval([]bool{tc.a, tc.b})
+		for i, w := range tc.want {
+			if got[i] != w {
+				t.Errorf("inputs (%v,%v) output %s = %v, want %v",
+					tc.a, tc.b, c.PONames()[i], got[i], w)
+			}
+		}
+	}
+}
+
+func TestConstNodesSharedAndCorrect(t *testing.T) {
+	c := New()
+	c.AddPI("a")
+	z0 := c.Const(false)
+	z1 := c.Const(true)
+	if c.Const(false) != z0 || c.Const(true) != z1 {
+		t.Fatal("constants not shared")
+	}
+	c.AddPO("zero", z0)
+	c.AddPO("one", z1)
+	out := c.Eval([]bool{true})
+	if out[0] != false || out[1] != true {
+		t.Fatalf("constants evaluate to %v", out)
+	}
+}
+
+func TestEvalWordsMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCircuit(rng, 8, 30, 4)
+	inWords := make([]uint64, c.NumPI())
+	for i := range inWords {
+		inWords[i] = rng.Uint64()
+	}
+	outWords := c.EvalWords(inWords)
+	for k := 0; k < 64; k++ {
+		assign := make([]bool, c.NumPI())
+		for i := range assign {
+			assign[i] = inWords[i]>>uint(k)&1 == 1
+		}
+		want := c.Eval(assign)
+		for j := range want {
+			got := outWords[j]>>uint(k)&1 == 1
+			if got != want[j] {
+				t.Fatalf("pattern %d output %d: parallel %v, scalar %v", k, j, got, want[j])
+			}
+		}
+	}
+}
+
+// randomCircuit builds a random well-formed circuit for differential tests.
+func randomCircuit(rng *rand.Rand, nPI, nGates, nPO int) *Circuit {
+	c := New()
+	sigs := make([]Signal, 0, nPI+nGates)
+	for i := 0; i < nPI; i++ {
+		sigs = append(sigs, c.AddPI("x"+itoa(i)))
+	}
+	for g := 0; g < nGates; g++ {
+		a := sigs[rng.Intn(len(sigs))]
+		b := sigs[rng.Intn(len(sigs))]
+		var s Signal
+		switch rng.Intn(7) {
+		case 0:
+			s = c.And(a, b)
+		case 1:
+			s = c.Or(a, b)
+		case 2:
+			s = c.Xor(a, b)
+		case 3:
+			s = c.Nand(a, b)
+		case 4:
+			s = c.Nor(a, b)
+		case 5:
+			s = c.Xnor(a, b)
+		default:
+			s = c.NotGate(a)
+		}
+		sigs = append(sigs, s)
+	}
+	for o := 0; o < nPO; o++ {
+		c.AddPO("y"+itoa(o), sigs[len(sigs)-1-o])
+	}
+	return c
+}
+
+func TestSizeCountsOnlyReachableTwoInputGates(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.And(a, b)
+	c.Or(a, b) // dangling: not counted
+	n := c.NotGate(g)
+	c.AddPO("z", n)
+	if got := c.Size(); got != 1 {
+		t.Fatalf("Size = %d, want 1", got)
+	}
+	if got := c.SizeWithInverters(); got != 2 {
+		t.Fatalf("SizeWithInverters = %d, want 2", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g1 := c.And(a, b)
+	g2 := c.Or(g1, a)
+	c.AddPO("z", c.NotGate(g2))
+	st := c.Stats()
+	if st.PIs != 2 || st.POs != 1 || st.Gates != 2 || st.Inverters != 1 || st.Depth != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestMux(t *testing.T) {
+	c := New()
+	s := c.AddPI("s")
+	x := c.AddPI("x")
+	y := c.AddPI("y")
+	c.AddPO("z", c.Mux(s, x, y))
+	for _, tc := range []struct{ s, x, y, want bool }{
+		{false, true, false, false},
+		{false, false, true, true},
+		{true, true, false, true},
+		{true, false, true, false},
+	} {
+		if got := c.Eval([]bool{tc.s, tc.x, tc.y})[0]; got != tc.want {
+			t.Errorf("mux(%v,%v,%v) = %v, want %v", tc.s, tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestStructuralSupport(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPI("c") // unused
+	d := c.AddPI("d")
+	c.AddPO("z", c.And(a, c.Xor(b, d)))
+	sup := c.StructuralSupport(0)
+	want := []int{0, 1, 3}
+	if len(sup) != len(want) {
+		t.Fatalf("support = %v, want %v", sup, want)
+	}
+	for i := range want {
+		if sup[i] != want[i] {
+			t.Fatalf("support = %v, want %v", sup, want)
+		}
+	}
+}
+
+func TestIndexMaps(t *testing.T) {
+	c := New()
+	c.AddPI("alpha")
+	beta := c.AddPI("beta")
+	c.AddPO("out", beta)
+	if c.PIIndexByName()["beta"] != 1 {
+		t.Fatal("PIIndexByName wrong")
+	}
+	if c.POIndexByName()["out"] != 0 {
+		t.Fatal("POIndexByName wrong")
+	}
+}
+
+func TestEvalPanicsOnWrongArity(t *testing.T) {
+	c := New()
+	c.AddPI("a")
+	c.AddPO("z", c.PISignal(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Eval([]bool{true, false})
+}
+
+// Property: random circuits evaluated in parallel agree with scalar eval.
+func TestQuickParallelScalarAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 3+rng.Intn(6), 5+rng.Intn(40), 1+rng.Intn(3))
+		words := make([]uint64, c.NumPI())
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		outW := c.EvalWords(words)
+		for _, k := range []int{0, 17, 63} {
+			assign := make([]bool, c.NumPI())
+			for i := range assign {
+				assign[i] = words[i]>>uint(k)&1 == 1
+			}
+			out := c.Eval(assign)
+			for j := range out {
+				if out[j] != (outW[j]>>uint(k)&1 == 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package circuit
+
+// Text netlist format, a minimal structural description used by the cmd
+// tools to persist circuits:
+//
+//	# comment
+//	.inputs a b sel[0] sel[1]
+//	.outputs z
+//	n4 = AND a b
+//	n5 = NOT n4
+//	.po z n5
+//
+// Node names are arbitrary identifiers without whitespace. Every gate line
+// reads "name = OP fanin0 [fanin1]"; OP is one of the GateType names. CONST0
+// and CONST1 take no fanins. Each ".po" line binds an output name to a node.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNetlist serializes the circuit in the text netlist format.
+func WriteNetlist(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, len(c.nodes))
+	for i, pi := range c.pis {
+		names[pi] = c.piNames[i]
+	}
+	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(c.piNames, " "))
+	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(c.poNames, " "))
+	for id, n := range c.nodes {
+		if n.Type == PI {
+			continue
+		}
+		if names[id] == "" {
+			names[id] = fmt.Sprintf("n%d", id)
+		}
+		switch {
+		case n.Type == Const0 || n.Type == Const1:
+			fmt.Fprintf(bw, "%s = %s\n", names[id], n.Type)
+		case n.Type.TwoInput():
+			fmt.Fprintf(bw, "%s = %s %s %s\n", names[id], n.Type, names[n.In0], names[n.In1])
+		default:
+			fmt.Fprintf(bw, "%s = %s %s\n", names[id], n.Type, names[n.In0])
+		}
+	}
+	for i, s := range c.pos {
+		fmt.Fprintf(bw, ".po %s %s\n", c.poNames[i], names[s])
+	}
+	return bw.Flush()
+}
+
+// ParseNetlist reads a circuit in the text netlist format.
+func ParseNetlist(r io.Reader) (*Circuit, error) {
+	c := New()
+	byName := make(map[string]Signal)
+	var poNames []string
+	sawOutputs := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	typeByName := map[string]GateType{}
+	for t := Const0; t <= Xnor; t++ {
+		typeByName[t.String()] = t
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == ".inputs":
+			for _, name := range fields[1:] {
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("netlist line %d: duplicate input %q", lineNo, name)
+				}
+				byName[name] = c.AddPI(name)
+			}
+		case fields[0] == ".outputs":
+			poNames = append(poNames, fields[1:]...)
+			sawOutputs = true
+		case fields[0] == ".po":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("netlist line %d: .po wants 2 operands", lineNo)
+			}
+			s, ok := byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("netlist line %d: unknown node %q", lineNo, fields[2])
+			}
+			c.AddPO(fields[1], s)
+		default:
+			// name = OP a [b]
+			if len(fields) < 3 || fields[1] != "=" {
+				return nil, fmt.Errorf("netlist line %d: cannot parse %q", lineNo, line)
+			}
+			name := fields[0]
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("netlist line %d: duplicate node %q", lineNo, name)
+			}
+			t, ok := typeByName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("netlist line %d: unknown gate type %q", lineNo, fields[2])
+			}
+			var s Signal
+			switch {
+			case t == Const0 || t == Const1:
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("netlist line %d: %s takes no fanins", lineNo, t)
+				}
+				s = c.Const(t == Const1)
+			case t.TwoInput():
+				if len(fields) != 5 {
+					return nil, fmt.Errorf("netlist line %d: %s wants 2 fanins", lineNo, t)
+				}
+				a, ok0 := byName[fields[3]]
+				b, ok1 := byName[fields[4]]
+				if !ok0 || !ok1 {
+					return nil, fmt.Errorf("netlist line %d: unknown fanin in %q", lineNo, line)
+				}
+				s = c.gate2(t, a, b)
+			default: // Not, Buf
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("netlist line %d: %s wants 1 fanin", lineNo, t)
+				}
+				a, ok0 := byName[fields[3]]
+				if !ok0 {
+					return nil, fmt.Errorf("netlist line %d: unknown fanin %q", lineNo, fields[3])
+				}
+				c.checkSignal(a)
+				s = c.push(Node{Type: t, In0: a})
+			}
+			byName[name] = s
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawOutputs {
+		return nil, fmt.Errorf("netlist: missing .outputs")
+	}
+	if len(poNames) != len(c.pos) {
+		return nil, fmt.Errorf("netlist: %d declared outputs but %d .po bindings", len(poNames), len(c.pos))
+	}
+	declared := make(map[string]bool, len(poNames))
+	for _, n := range poNames {
+		declared[n] = true
+	}
+	for _, n := range c.poNames {
+		if !declared[n] {
+			return nil, fmt.Errorf("netlist: .po %q not in .outputs", n)
+		}
+	}
+	return c, nil
+}
+
+// WriteDOT emits a Graphviz rendering of the circuit (reachable nodes only).
+func WriteDOT(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph circuit {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	reach := c.reachable()
+	for id, n := range c.nodes {
+		if !reach[id] {
+			continue
+		}
+		label := n.Type.String()
+		shape := "box"
+		if n.Type == PI {
+			label = c.piNames[c.piIndexOf(id)]
+			shape = "ellipse"
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q shape=%s];\n", id, label, shape)
+		switch {
+		case n.Type == PI || n.Type == Const0 || n.Type == Const1:
+		case n.Type.TwoInput():
+			fmt.Fprintf(bw, "  n%d -> n%d;\n  n%d -> n%d;\n", n.In0, id, n.In1, id)
+		default:
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", n.In0, id)
+		}
+	}
+	for i, s := range c.pos {
+		fmt.Fprintf(bw, "  po%d [label=%q shape=doubleoctagon];\n  n%d -> po%d;\n", i, c.poNames[i], s, i)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func (c *Circuit) piIndexOf(id Signal) int {
+	for i, s := range c.pis {
+		if s == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,104 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNetlistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	orig := randomCircuit(rng, 6, 25, 3)
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNetlist(&buf)
+	if err != nil {
+		t.Fatalf("ParseNetlist: %v\nnetlist:\n%s", err, buf.String())
+	}
+	if parsed.NumPI() != orig.NumPI() || parsed.NumPO() != orig.NumPO() {
+		t.Fatalf("IO mismatch: %d/%d vs %d/%d",
+			parsed.NumPI(), parsed.NumPO(), orig.NumPI(), orig.NumPO())
+	}
+	for trial := 0; trial < 200; trial++ {
+		assign := make([]bool, orig.NumPI())
+		for i := range assign {
+			assign[i] = rng.Intn(2) == 1
+		}
+		a := orig.Eval(assign)
+		b := parsed.Eval(assign)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("trial %d output %d differs after round trip", trial, j)
+			}
+		}
+	}
+}
+
+func TestNetlistRoundTripWithConstants(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	c.AddPO("z", c.Or(a, c.Const(true)))
+	c.AddPO("w", c.And(a, c.Const(false)))
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := parsed.Eval([]bool{false})
+	if out[0] != true || out[1] != false {
+		t.Fatalf("constants after round trip = %v", out)
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown gate":     ".inputs a\n.outputs z\nn1 = FOO a\n.po z n1\n",
+		"unknown fanin":    ".inputs a\n.outputs z\nn1 = NOT bogus\n.po z n1\n",
+		"bad arity":        ".inputs a\n.outputs z\nn1 = AND a\n.po z n1\n",
+		"duplicate node":   ".inputs a\n.outputs z\na = NOT a\n.po z a\n",
+		"missing outputs":  ".inputs a\nn1 = NOT a\n.po z n1\n",
+		"po not declared":  ".inputs a\n.outputs z\nn1 = NOT a\n.po other n1\n",
+		"po unknown node":  ".inputs a\n.outputs z\n.po z nowhere\n",
+		"const with fanin": ".inputs a\n.outputs z\nn1 = CONST1 a\n.po z n1\n",
+		"garbage line":     ".inputs a\n.outputs z\nwhat even is this\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseNetlist(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestParseNetlistSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# header\n\n.inputs a b\n.outputs z\n# gate section\nn1 = AND a b\n.po z n1\n"
+	c, err := ParseNetlist(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval([]bool{true, true})[0]; !got {
+		t.Fatal("AND of (1,1) = false")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	c := New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPO("z", c.And(a, b))
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph", "AND", "doubleoctagon", "\"a\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+// Package core implements the paper's five-step circuit-learning pipeline
+// (Fig. 1): name based grouping, template matching, support identification,
+// decision-tree based circuit construction, and circuit optimization.
+//
+// Each primary output is learned independently (the problem decomposes per
+// output); template-matched outputs are synthesized directly, outputs with
+// small identified support are conquered exhaustively, and the rest go
+// through the FBDT engine with onset/offset cover selection. The final
+// netlist is post-optimized by the opt pipeline.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"logicregression/internal/circuit"
+	"logicregression/internal/fbdt"
+	"logicregression/internal/names"
+	"logicregression/internal/opt"
+	"logicregression/internal/oracle"
+	"logicregression/internal/sop"
+	"logicregression/internal/support"
+	"logicregression/internal/template"
+)
+
+// Options configures the learner. The zero value gives paper-flavoured
+// defaults scaled for interactive runs; the paper's own constants are noted
+// per field.
+type Options struct {
+	// Seed makes the whole learn reproducible.
+	Seed int64
+	// TimeLimit bounds the entire learn including optimization
+	// (paper: 2700s). Zero means unlimited.
+	TimeLimit time.Duration
+	// SupportR is the PatternSampling count for support identification
+	// (paper: 7200). Default 2048.
+	SupportR int
+	// TreeR is the per-node PatternSampling count inside the decision
+	// tree (paper: 60). Default 60.
+	TreeR int
+	// LeafEpsilon is the early-stopping TruthRatio deviation (Sec. IV-D
+	// trick 3). Default 0 (exact).
+	LeafEpsilon float64
+	// ExhaustiveThreshold is the small-function support bound (trick 1).
+	// Default 18, the paper's value: 2^18 queries are answered in 4096
+	// word-parallel evaluations.
+	ExhaustiveThreshold int
+	// MaxTreeNodes bounds node expansions per output tree (0 = unlimited).
+	MaxTreeNodes int
+	// Ratios overrides the sampling bias pool.
+	Ratios []float64
+	// DisablePreprocessing turns off steps 1-2 (grouping + templates),
+	// the ablation of Sec. V.
+	DisablePreprocessing bool
+	// DisableOptimization turns off step 5.
+	DisableOptimization bool
+	// HiddenCompression additionally hunts for non-observable comparator
+	// subcircuits and learns through the compressed input space
+	// (Sec. IV-B1, Example 2).
+	HiddenCompression bool
+	// AlwaysOnset disables the onset/offset choice (trick 2 ablation):
+	// the onset cover is always used.
+	AlwaysOnset bool
+	// DepthFirstTree explores decision trees depth-first instead of the
+	// paper's levelized order (exploration-order ablation).
+	DepthFirstTree bool
+	// ExtendedTemplates enables the bitwise lane-operator template family
+	// (an extension beyond the paper; see internal/template/bitwise.go).
+	ExtendedTemplates bool
+	// RefineRounds enables counterexample-guided refinement (an extension
+	// beyond the paper; see refine.go): after learning, the circuit is
+	// checked against the black box and mismatching outputs are relearned
+	// with their support augmented from the mismatch witnesses. 0 = off.
+	RefineRounds int
+	// RefinePatterns is the number of self-check patterns per refinement
+	// round (default 8192).
+	RefinePatterns int
+	// Parallel learns non-template outputs with this many concurrent
+	// workers (a library extension — the contest forbade parallelism, so
+	// <= 1 keeps the paper-faithful sequential path). The oracle must be
+	// safe for concurrent Eval calls.
+	Parallel int
+	// MemoizeQueries caches black-box responses by assignment. Worth it
+	// only when queries are expensive (e.g. a remote iogen): the cache
+	// forces scalar evaluation, giving up the 64-way word parallelism of
+	// local simulators.
+	MemoizeQueries bool
+	// Template configures template detection.
+	Template template.Config
+	// Opt configures the optimization pipeline.
+	Opt opt.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.SupportR <= 0 {
+		o.SupportR = 2048
+	}
+	if o.TreeR <= 0 {
+		o.TreeR = 60
+	}
+	if o.ExhaustiveThreshold <= 0 {
+		o.ExhaustiveThreshold = 18
+	}
+	return o
+}
+
+// Method records how an output was learned.
+type Method string
+
+// Learning methods per output.
+const (
+	MethodConstant   Method = "constant"
+	MethodComparator Method = "template-comparator"
+	MethodLinear     Method = "template-linear"
+	MethodExhaustive Method = "exhaustive"
+	MethodTree       Method = "tree"
+	MethodCompressed Method = "tree-compressed"
+	// MethodBitwise is the extended lane-operator family (extension).
+	MethodBitwise Method = "template-bitwise"
+	// MethodAffine is the extended GF(2)-parity family (extension).
+	MethodAffine Method = "template-affine"
+)
+
+// OutputReport describes one learned output.
+type OutputReport struct {
+	Name       string
+	Method     Method
+	Support    int  // |S'| (0 for template/constant outputs)
+	Cubes      int  // cover size for SOP-built outputs
+	Negated    bool // offset cover chosen
+	Truncated  bool // tree hit a budget/deadline
+	ApproxLeaf int  // majority-voted leaves
+	Refined    bool // relearned by counterexample-guided refinement
+}
+
+// Result is the outcome of a learn.
+type Result struct {
+	// Circuit is the learned netlist, with the golden PI/PO names in the
+	// golden order.
+	Circuit *circuit.Circuit
+	// Outputs describes how each output was learned.
+	Outputs []OutputReport
+	// Queries is the number of black-box queries issued.
+	Queries int64
+	// Elapsed is the wall-clock learning time.
+	Elapsed time.Duration
+	// SizeBeforeOpt and Size are the 2-input gate counts before and after
+	// optimization.
+	SizeBeforeOpt int
+	Size          int
+	// TemplateMatches counts outputs settled by preprocessing.
+	TemplateMatches int
+}
+
+// Learn runs the full pipeline against the black box.
+func Learn(o oracle.Oracle, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var learnFrom oracle.Oracle = o
+	if opts.MemoizeQueries {
+		learnFrom = oracle.NewMemo(o)
+	}
+	counter := oracle.NewCounter(learnFrom)
+
+	res := &Result{}
+	nOut := o.NumOutputs()
+
+	// Steps 1-2: name based grouping + template matching.
+	var matches template.Matches
+	if !opts.DisablePreprocessing {
+		tcfg := opts.Template
+		if opts.ExtendedTemplates {
+			tcfg.ExtendedTemplates = true
+		}
+		matches = template.Detect(counter, tcfg, rng)
+	}
+	compByOut := make(map[int]template.CompMatch)
+	for _, cm := range matches.Comparators {
+		compByOut[cm.Out] = cm
+	}
+	linByOut := make(map[int]template.LinMatch)
+	linBit := make(map[int]int) // PO index -> bit position in its LinMatch
+	for _, lm := range matches.Linear {
+		for bit, pos := range lm.OutVec.Ports {
+			if bit < lm.Width {
+				if _, taken := compByOut[pos]; !taken {
+					linByOut[pos] = lm
+					linBit[pos] = bit
+				}
+			}
+		}
+	}
+	affByOut := make(map[int]template.AffineMatch)
+	for _, am := range matches.Affine {
+		affByOut[am.Out] = am
+	}
+	bitByOut := make(map[int]template.BitwiseMatch)
+	bitBit := make(map[int]int)
+	for _, bm := range matches.Bitwise {
+		for bit, pos := range bm.OutVec.Ports {
+			if bit < bm.Width {
+				if _, t1 := compByOut[pos]; t1 {
+					continue
+				}
+				if _, t2 := linByOut[pos]; t2 {
+					continue
+				}
+				bitByOut[pos] = bm
+				bitBit[pos] = bit
+			}
+		}
+	}
+
+	// The output circuit shares one PI per golden input.
+	c := circuit.New()
+	piSigs := make([]circuit.Signal, o.NumInputs())
+	for i, name := range o.InputNames() {
+		piSigs[i] = c.AddPI(name)
+	}
+	// Cache synthesized linear adders (one per LinMatch, shared by bits).
+	linWords := make(map[string]circuit.Word)
+
+	outNames := o.OutputNames()
+	inG := names.Group(o.InputNames())
+	supports := make(map[int][]int)
+
+	// Library extension: learn the non-template outputs concurrently.
+	var parallelResults map[int]outputResult
+	if opts.Parallel > 1 {
+		var jobs []outputJob
+		for po := 0; po < nOut; po++ {
+			_, c1 := compByOut[po]
+			_, c2 := linByOut[po]
+			_, c3 := bitByOut[po]
+			if opts.DisablePreprocessing || (!c1 && !c2 && !c3) {
+				jobs = append(jobs, outputJob{po: po, name: outNames[po]})
+			}
+		}
+		parallelResults = learnOutputsParallel(counter, jobs, inG, opts, deadline)
+	}
+
+	for po := 0; po < nOut; po++ {
+		rep := OutputReport{Name: outNames[po]}
+		var sig circuit.Signal
+		var sup []int
+
+		switch {
+		case !opts.DisablePreprocessing && hasComp(compByOut, po):
+			cm := compByOut[po]
+			sig = cm.Synthesize(c, piSigs)
+			rep.Method = MethodComparator
+			res.TemplateMatches++
+		case !opts.DisablePreprocessing && hasLin(linByOut, po):
+			lm := linByOut[po]
+			key := "lin:" + lm.OutVec.Stem
+			w, ok := linWords[key]
+			if !ok {
+				w = lm.Synthesize(c, piSigs)
+				linWords[key] = w
+			}
+			sig = w[linBit[po]]
+			rep.Method = MethodLinear
+			res.TemplateMatches++
+		case !opts.DisablePreprocessing && hasAff(affByOut, po):
+			am := affByOut[po]
+			sig = am.Synthesize(c, piSigs)
+			rep.Method = MethodAffine
+			res.TemplateMatches++
+		case !opts.DisablePreprocessing && hasBit(bitByOut, po):
+			bm := bitByOut[po]
+			key := "bit:" + bm.OutVec.Stem
+			w, ok := linWords[key]
+			if !ok {
+				w = bm.Synthesize(c, piSigs)
+				linWords[key] = w
+			}
+			sig = w[bitBit[po]]
+			rep.Method = MethodBitwise
+			res.TemplateMatches++
+		default:
+			if r, ok := parallelResults[po]; ok {
+				sig = circuit.CopyCone(c, piSigs, r.scratch, 0)
+				rep, sup = r.rep, r.sup
+			} else {
+				sig, rep, sup = learnOutput(c, counter, po, piSigs, inG, opts, deadline, rng)
+				rep.Name = outNames[po]
+			}
+		}
+		c.AddPO(outNames[po], sig)
+		supports[po] = sup
+		res.Outputs = append(res.Outputs, rep)
+	}
+
+	if opts.RefineRounds > 0 {
+		refine(c, counter, res.Outputs, supports, opts, deadline, rng)
+	}
+
+	res.SizeBeforeOpt = c.Size()
+	if !opts.DisableOptimization {
+		optCfg := opts.Opt
+		if optCfg.Seed == 0 {
+			optCfg.Seed = opts.Seed + 1
+		}
+		if optCfg.TimeLimit == 0 {
+			optCfg.TimeLimit = 60 * time.Second // the paper's limit
+		}
+		c = opt.Optimize(c, optCfg)
+	}
+	res.Circuit = c
+	res.Size = c.Size()
+	res.Queries = counter.Queries()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func hasComp(m map[int]template.CompMatch, po int) bool   { _, ok := m[po]; return ok }
+func hasLin(m map[int]template.LinMatch, po int) bool     { _, ok := m[po]; return ok }
+func hasBit(m map[int]template.BitwiseMatch, po int) bool { _, ok := m[po]; return ok }
+func hasAff(m map[int]template.AffineMatch, po int) bool  { _, ok := m[po]; return ok }
+
+// learnOutput runs steps 3-4 for one output: support identification, then
+// either exhaustive enumeration, compressed-tree learning, or the FBDT.
+// It returns the learned signal, the report, and the identified support.
+func learnOutput(c *circuit.Circuit, counter *oracle.Counter, po int, piSigs []circuit.Signal,
+	inG names.Grouping, opts Options, deadline time.Time, rng *rand.Rand) (circuit.Signal, OutputReport, []int) {
+
+	// Step 3: support identification.
+	info := support.Identify(counter, po, support.Config{R: opts.SupportR, Ratios: opts.Ratios}, rng)
+
+	if len(info.Support) == 0 {
+		rep := OutputReport{Method: MethodConstant}
+		return c.Const(info.TruthRatio > 0.5), rep, nil
+	}
+
+	// Optional: hidden comparator compression when the support spans
+	// exactly-two grouped vectors plus other inputs.
+	if opts.HiddenCompression && !opts.DisablePreprocessing {
+		if sig, crep, ok := tryCompressed(c, counter, po, piSigs, inG, info.Support, opts, deadline, rng); ok {
+			return sig, crep, info.Support
+		}
+	}
+
+	sig, rep := learnWithSupport(c, counter, po, piSigs, info.Support, opts, deadline, rng)
+	return sig, rep, info.Support
+}
+
+// learnWithSupport runs step 4 (exhaustive or tree) for one output with an
+// explicitly given candidate support. The refinement loop reuses it after
+// augmenting the support from mismatch witnesses.
+func learnWithSupport(c *circuit.Circuit, counter *oracle.Counter, po int, piSigs []circuit.Signal,
+	sup []int, opts Options, deadline time.Time, rng *rand.Rand) (circuit.Signal, OutputReport) {
+
+	rep := OutputReport{Support: len(sup)}
+
+	// Trick 1: conquer small functions exhaustively.
+	if len(sup) <= opts.ExhaustiveThreshold {
+		res := fbdt.Exhaustive(counter, po, sup, rng)
+		cover, negate := chooseCover(res, opts)
+		rep.Method = MethodExhaustive
+		rep.Cubes = len(cover)
+		rep.Negated = negate
+		return sop.SynthesizeFactored(c, cover, piSigs, negate), rep
+	}
+
+	// Step 4: FBDT construction.
+	res := fbdt.Build(counter, po, fbdt.Config{
+		R:           opts.TreeR,
+		Ratios:      opts.Ratios,
+		LeafEpsilon: opts.LeafEpsilon,
+		Candidates:  sup,
+		MaxNodes:    opts.MaxTreeNodes,
+		Deadline:    deadline,
+		DepthFirst:  opts.DepthFirstTree,
+	}, rng)
+	// The tree's leaf cubes partition the space, so each cover can be
+	// expanded exactly against the other before minimization (the EXPAND
+	// step ABC's two-level engine would perform). On very large truncated
+	// trees the quadratic cube-pair work isn't worth it; plain reduction
+	// keeps the anytime behaviour.
+	reduce := func(cover, blockers sop.Cover) sop.Cover {
+		if len(cover)*len(blockers) > 4_000_000 {
+			return sop.Minimize(cover)
+		}
+		return sop.ExpandAgainst(cover, blockers)
+	}
+	onset := reduce(res.Onset, res.Offset)
+	cover, negate := onset, false
+	if !opts.AlwaysOnset {
+		offset := reduce(res.Offset, res.Onset)
+		cover, negate = pickSmaller(onset, offset, res.RootTruthRatio)
+	}
+	rep.Method = MethodTree
+	rep.Cubes = len(cover)
+	rep.Negated = negate
+	rep.Truncated = res.Stats.Exhausted
+	rep.ApproxLeaf = res.Stats.ApproxLeaves
+	return sop.SynthesizeFactored(c, cover, piSigs, negate), rep
+}
+
+func chooseCover(res fbdt.Result, opts Options) (sop.Cover, bool) {
+	if opts.AlwaysOnset {
+		return res.Onset, false
+	}
+	return res.Choose()
+}
+
+func pickSmaller(onset, offset sop.Cover, rootTruth float64) (sop.Cover, bool) {
+	switch {
+	case len(offset) < len(onset):
+		return offset, true
+	case len(onset) < len(offset):
+		return onset, false
+	case rootTruth > 0.5:
+		return offset, true
+	default:
+		return onset, false
+	}
+}
+
+// tryCompressed hunts for a hidden comparator over vector pairs inside the
+// support and, when found, learns the output over the compressed input
+// space, synthesizing the delegate as the comparator subcircuit.
+func tryCompressed(c *circuit.Circuit, counter *oracle.Counter, po int, piSigs []circuit.Signal,
+	inG names.Grouping, sup []int, opts Options, deadline time.Time, rng *rand.Rand) (circuit.Signal, OutputReport, bool) {
+
+	supSet := make(map[int]bool, len(sup))
+	for _, s := range sup {
+		supSet[s] = true
+	}
+	// Candidate vectors: fully inside the support.
+	var cand []names.Vector
+	for _, v := range inG.Vectors {
+		all := true
+		for _, p := range v.Ports {
+			if !supSet[p] {
+				all = false
+				break
+			}
+		}
+		if all && v.Width() <= 64 {
+			cand = append(cand, v)
+		}
+	}
+	for i := 0; i < len(cand); i++ {
+		for j := i + 1; j < len(cand); j++ {
+			hm, ok := template.DetectHidden(counter, cand[i], cand[j], 3, opts.Template, rng)
+			if !ok {
+				continue
+			}
+			co, ok := template.NewCompressed(counter, hm.CompMatch, rng)
+			if !ok {
+				continue
+			}
+			coCounter := oracle.NewCounter(co)
+			info := support.Identify(coCounter, po, support.Config{R: opts.SupportR, Ratios: opts.Ratios}, rng)
+			var res fbdt.Result
+			if len(info.Support) <= opts.ExhaustiveThreshold {
+				res = fbdt.Exhaustive(coCounter, po, info.Support, rng)
+			} else {
+				res = fbdt.Build(coCounter, po, fbdt.Config{
+					R: opts.TreeR, Ratios: opts.Ratios, LeafEpsilon: opts.LeafEpsilon,
+					Candidates: info.Support, MaxNodes: opts.MaxTreeNodes, Deadline: deadline,
+				}, rng)
+			}
+			cover, negate := chooseCover(res, opts)
+			// Map compressed variables to signals: the delegate becomes
+			// the bare predicate subcircuit (the observation polarity of
+			// the hidden match concerns the PO, not the delegate).
+			cm := hm.CompMatch
+			cm.Negated = false
+			delegateSig := cm.Synthesize(c, piSigs)
+			vars := make([]circuit.Signal, co.NumInputs())
+			for v := range vars {
+				vars[v] = co.VarSignal(v, piSigs, delegateSig)
+			}
+			rep := OutputReport{
+				Method:  MethodCompressed,
+				Support: len(info.Support),
+				Cubes:   len(cover),
+				Negated: negate,
+			}
+			return sop.SynthesizeFactored(c, cover, vars, negate), rep, true
+		}
+	}
+	return 0, OutputReport{}, false
+}
+
+// String renders a result summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("size=%d (pre-opt %d), queries=%d, templates=%d/%d, elapsed=%s",
+		r.Size, r.SizeBeforeOpt, r.Queries, r.TemplateMatches, len(r.Outputs), r.Elapsed.Round(time.Millisecond))
+}

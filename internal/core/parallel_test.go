@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"logicregression/internal/circuit"
+	"logicregression/internal/eval"
+	"logicregression/internal/oracle"
+)
+
+// multiOutGolden builds a circuit with several independent cones.
+func multiOutGolden() *circuit.Circuit {
+	c := circuit.New()
+	var in []circuit.Signal
+	for i := 0; i < 24; i++ {
+		in = append(in, c.AddPI("w"+string(rune('a'+i%26))+string(rune('a'+i/26))))
+	}
+	for po := 0; po < 6; po++ {
+		base := po * 4
+		cone := c.Or(
+			c.And(in[base], in[base+1]),
+			c.Xor(in[base+2], c.And(in[base+3], in[(base+7)%24])),
+		)
+		c.AddPO("f"+string(rune('0'+po)), cone)
+	}
+	return c
+}
+
+func TestParallelLearnMatchesAccuracy(t *testing.T) {
+	g := multiOutGolden()
+	o := oracle.FromCircuit(g)
+
+	seq := Learn(o, Options{Seed: 11})
+	par := Learn(o, Options{Seed: 11, Parallel: 4})
+
+	for name, res := range map[string]*Result{"sequential": seq, "parallel": par} {
+		rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 8000, Seed: 5})
+		if rep.Accuracy != 1 {
+			t.Fatalf("%s accuracy = %f (outputs %+v)", name, rep.Accuracy, res.Outputs)
+		}
+	}
+	if par.Circuit.NumPO() != g.NumPO() {
+		t.Fatalf("parallel PO count = %d", par.Circuit.NumPO())
+	}
+	// Output names and order must match the golden interface.
+	for i, name := range g.PONames() {
+		if par.Circuit.PONames()[i] != name {
+			t.Fatalf("PO %d name %q, want %q", i, par.Circuit.PONames()[i], name)
+		}
+	}
+}
+
+func TestParallelLearnDeterministic(t *testing.T) {
+	g := multiOutGolden()
+	o := oracle.FromCircuit(g)
+	r1 := Learn(o, Options{Seed: 12, Parallel: 3, DisableOptimization: true})
+	r2 := Learn(o, Options{Seed: 12, Parallel: 3, DisableOptimization: true})
+	if r1.SizeBeforeOpt != r2.SizeBeforeOpt {
+		t.Fatalf("non-deterministic sizes: %d vs %d", r1.SizeBeforeOpt, r2.SizeBeforeOpt)
+	}
+	for i := range r1.Outputs {
+		if r1.Outputs[i].Cubes != r2.Outputs[i].Cubes {
+			t.Fatalf("output %d cubes differ across runs", i)
+		}
+	}
+}
+
+func TestParallelLearnWithTemplatesMixed(t *testing.T) {
+	// Comparator output (template) + control cone (tree/exhaustive) in one
+	// design: the parallel path must only take the non-template outputs.
+	g := circuit.New()
+	a := g.AddPIWord("a", 6)
+	b := g.AddPIWord("b", 6)
+	extra := g.AddPI("sel")
+	g.AddPO("lt", g.LtWords(a, b))
+	g.AddPO("mix", g.And(extra, g.Xor(a[0], b[5])))
+	o := oracle.FromCircuit(g)
+
+	res := Learn(o, Options{Seed: 13, Parallel: 2})
+	if res.Outputs[0].Method != MethodComparator {
+		t.Fatalf("output 0 method = %s", res.Outputs[0].Method)
+	}
+	rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: 8000, Seed: 6})
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy = %f", rep.Accuracy)
+	}
+}

@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"logicregression/internal/circuit"
+	"logicregression/internal/oracle"
+)
+
+func twoOut() *circuit.Circuit {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPO("z", c.And(a, b))
+	c.AddPO("w", c.Xor(a, b))
+	return c
+}
+
+func TestPerfectMatch(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	l := oracle.FromCircuit(twoOut())
+	rep := Measure(g, l, Config{Patterns: 3000, Seed: 1})
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy = %f, want 1", rep.Accuracy)
+	}
+	if rep.Hits != rep.Patterns {
+		t.Fatalf("hits %d != patterns %d", rep.Hits, rep.Patterns)
+	}
+	for j, a := range rep.PerOutput {
+		if a != 1 {
+			t.Fatalf("per-output %d = %f", j, a)
+		}
+	}
+	for p, a := range rep.PoolAccuracy {
+		if a != 1 {
+			t.Fatalf("pool %d accuracy = %f", p, a)
+		}
+	}
+}
+
+func TestKnownErrorRate(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	// Learned circuit with the second output inverted: w differs always,
+	// so hit rate must be 0; per-output z accuracy stays 1.
+	wrong := circuit.New()
+	a := wrong.AddPI("a")
+	b := wrong.AddPI("b")
+	wrong.AddPO("z", wrong.And(a, b))
+	wrong.AddPO("w", wrong.Xnor(a, b))
+	rep := Measure(g, oracle.FromCircuit(wrong), Config{Patterns: 3000, Seed: 2})
+	if rep.Accuracy != 0 {
+		t.Fatalf("accuracy = %f, want 0", rep.Accuracy)
+	}
+	if rep.PerOutput[0] != 1 || rep.PerOutput[1] != 0 {
+		t.Fatalf("per-output = %v", rep.PerOutput)
+	}
+}
+
+func TestPartialErrorOnlyInOnePool(t *testing.T) {
+	// Golden z = a AND b; learned z = a OR b. They differ exactly when
+	// a != b. Under high-1s bias the disagreement rate is 2*p*(1-p).
+	g := circuit.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO("z", g.And(a, b))
+	l := circuit.New()
+	a2 := l.AddPI("a")
+	b2 := l.AddPI("b")
+	l.AddPO("z", l.Or(a2, b2))
+	rep := Measure(oracle.FromCircuit(g), oracle.FromCircuit(l),
+		Config{Patterns: 60000, HighRatio: 0.9, Seed: 3})
+	// Expected match rates: pool0 (p=.9): 1-2(.9)(.1)=.82; pool1 (p=.1):
+	// .82; pool2 (p=.5): .5.
+	want := [3]float64{0.82, 0.82, 0.5}
+	for p := range want {
+		if math.Abs(rep.PoolAccuracy[p]-want[p]) > 0.02 {
+			t.Fatalf("pool %d accuracy = %f, want ~%f", p, rep.PoolAccuracy[p], want[p])
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	l := circuit.New()
+	a := l.AddPI("a")
+	b := l.AddPI("b")
+	l.AddPO("z", l.And(a, b))
+	l.AddPO("w", l.Or(a, b)) // partially wrong
+	lo := oracle.FromCircuit(l)
+	r1 := Measure(g, lo, Config{Patterns: 9000, Seed: 42})
+	r2 := Measure(g, lo, Config{Patterns: 9000, Seed: 42})
+	if r1.Hits != r2.Hits {
+		t.Fatalf("non-deterministic: %d vs %d", r1.Hits, r2.Hits)
+	}
+	r3 := Measure(g, lo, Config{Patterns: 9000, Seed: 43})
+	if r3.Hits == r1.Hits {
+		// Different seeds giving identical hit counts is suspicious for a
+		// partially-wrong circuit, though not impossible; treat as failure
+		// only combined with identical accuracy to many digits.
+		if r3.Accuracy == r1.Accuracy {
+			t.Log("warning: different seeds produced identical results")
+		}
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	l := circuit.New()
+	l.AddPO("z", l.AddPI("a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Measure(g, oracle.FromCircuit(l), Config{Patterns: 100})
+}
+
+func TestPatternCountRespected(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	rep := Measure(g, g, Config{Patterns: 1000, Seed: 5})
+	if rep.Patterns != 1000 {
+		t.Fatalf("Patterns = %d, want 1000", rep.Patterns)
+	}
+}
+
+func TestDirectedPatternsCatchRareComparator(t *testing.T) {
+	// Golden: equality of two 15-bit buses (true with probability 2^-15).
+	// Learned: constant 0. Random pools alone can miss it; the directed
+	// all-zeros/all-ones corners always catch it.
+	g := circuit.New()
+	a := g.AddPIWord("a", 15)
+	b := g.AddPIWord("b", 15)
+	g.AddPO("eq", g.EqWords(a, b))
+	l := circuit.New()
+	l.AddPIWord("a", 15)
+	l.AddPIWord("b", 15)
+	l.AddPO("eq", l.Const(false))
+
+	rep := Measure(oracle.FromCircuit(g), oracle.FromCircuit(l),
+		Config{Patterns: 300, Seed: 9, Directed: true})
+	if rep.Accuracy == 1 {
+		t.Fatal("directed corners failed to expose the constant-0 impostor")
+	}
+}
+
+func TestDirectedPatternsCountedInTotal(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	rep := Measure(g, g, Config{Patterns: 300, Seed: 10, Directed: true})
+	// 2 inputs: 2n+2 = 6 directed patterns on top of 300 random ones.
+	if rep.Patterns != 306 {
+		t.Fatalf("Patterns = %d, want 306", rep.Patterns)
+	}
+	if rep.Accuracy != 1 {
+		t.Fatalf("self-comparison accuracy = %f", rep.Accuracy)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"logicregression/internal/cases"
+)
+
+// tinyBudget keeps unit tests fast.
+func tinyBudget() Budget {
+	return Budget{
+		EvalPatterns:      3000,
+		SupportR:          256,
+		MaxTreeNodes:      100,
+		PerCase:           5 * time.Second,
+		BaselineTreeNodes: 200,
+		SOPSamples:        256,
+		Seed:              1,
+	}
+}
+
+func TestRunCaseShapeOnEasyDIAG(t *testing.T) {
+	c, err := cases.ByName("case_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunCase(c, tinyBudget())
+	if row.Ours.Accuracy != 100 {
+		t.Fatalf("ours accuracy = %f, want 100", row.Ours.Accuracy)
+	}
+	if row.Ours.Size >= row.TreeBase.Size || row.Ours.Size >= row.SOPBase.Size {
+		t.Fatalf("ours size %d not smaller than baselines (%d, %d)",
+			row.Ours.Size, row.TreeBase.Size, row.SOPBase.Size)
+	}
+	if row.TreeBase.Accuracy >= row.Ours.Accuracy+0.001 {
+		t.Fatalf("baseline tree accuracy %f beats ours %f on a DIAG case",
+			row.TreeBase.Accuracy, row.Ours.Accuracy)
+	}
+}
+
+func TestTableIISubsetAndPrinter(t *testing.T) {
+	rows := TableII([]string{"case_7"}, tinyBudget(), nil)
+	if len(rows) != 1 || rows[0].Case.Name != "case_7" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintTableII(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"case_7", "Ours", "Paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationShapeOnOneDIAGCase(t *testing.T) {
+	// Run the underlying comparison directly for a single DIAG case to
+	// keep the test quick: preprocessing off must cost size.
+	c, err := cases.ByName("case_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tinyBudget()
+	golden := c.Oracle()
+	row := AblationRow{Case: c}
+	onRes := RunCase(c, b) // reuses the learner path with preprocessing on
+	row.On = onRes.Ours
+
+	// Off: use the exported knob through ourOptions.
+	offOpts := ourOptions(b, true)
+	res := learnWith(golden, offOpts)
+	row.Off = measure(golden, res.Circuit, res.Elapsed, b)
+
+	if row.Off.Size <= row.On.Size {
+		t.Fatalf("preprocessing off produced size %d <= on %d", row.Off.Size, row.On.Size)
+	}
+	if row.SizeFactor() <= 1 {
+		t.Fatalf("size factor = %f", row.SizeFactor())
+	}
+}
+
+func TestPrintAblation(t *testing.T) {
+	c, _ := cases.ByName("case_16")
+	rows := []AblationRow{{
+		Case: c,
+		On:   Entry{Size: 10, Accuracy: 100, Seconds: 0.1},
+		Off:  Entry{Size: 280, Accuracy: 99.7, Seconds: 22.7},
+	}}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "28.0") {
+		t.Fatalf("size factor missing:\n%s", out)
+	}
+	if !strings.Contains(out, "average blow-up") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+}
+
+func TestPrintKnobs(t *testing.T) {
+	var buf bytes.Buffer
+	PrintKnobs(&buf, []KnobResult{{Knob: "treeR", Setting: "60", Entry: Entry{Size: 5, Accuracy: 99.9}}})
+	if !strings.Contains(buf.String(), "treeR") {
+		t.Fatal("knob printer broken")
+	}
+}
+
+func TestFactorsDegenerateCases(t *testing.T) {
+	r := AblationRow{On: Entry{Size: 0, Seconds: 0}, Off: Entry{Size: 5, Seconds: 2}}
+	if r.SizeFactor() != 5 {
+		t.Fatalf("SizeFactor = %f", r.SizeFactor())
+	}
+	if r.TimeFactor() != 2 {
+		t.Fatalf("TimeFactor = %f", r.TimeFactor())
+	}
+}
+
+func TestAblationPreprocessingSingleCase(t *testing.T) {
+	rows := AblationPreprocessing(tinyBudget(), nil, "case_16")
+	if len(rows) != 1 || rows[0].Case.Name != "case_16" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.On.Accuracy != 100 {
+		t.Fatalf("preproc ON accuracy = %f", r.On.Accuracy)
+	}
+	if r.Off.Size <= r.On.Size {
+		t.Fatalf("no size blow-up: ON %d vs OFF %d", r.On.Size, r.Off.Size)
+	}
+}
+
+func TestExtensionsBudgetFlag(t *testing.T) {
+	b := tinyBudget()
+	b.Extensions = true
+	opts := ourOptions(b, false)
+	if !opts.ExtendedTemplates || opts.RefineRounds == 0 {
+		t.Fatalf("extensions not applied: %+v", opts)
+	}
+}

@@ -1,0 +1,213 @@
+// Package ioserve exposes an Oracle over TCP with a line-oriented protocol,
+// modelling the 2019 contest's external iogen pattern generator: the learner
+// talks to a black box it does not host, one full assignment per query.
+//
+// Protocol (all lines '\n'-terminated ASCII):
+//
+//	server greets:  "inputs <name> <name> ...\n"
+//	                "outputs <name> ...\n"
+//	client query:   "<bits>"      — one '0'/'1' per input, in input order
+//	server reply:   "<bits>"      — one '0'/'1' per output
+//	client ends:    "quit"
+//
+// Malformed queries get a line starting with "error:" and the connection
+// stays usable.
+package ioserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"logicregression/internal/oracle"
+)
+
+// Server serves a wrapped oracle to any number of concurrent clients.
+type Server struct {
+	inner oracle.Oracle
+	mu    sync.Mutex // serializes Eval: Oracle implementations need not be concurrency-safe
+}
+
+// NewServer wraps an oracle for serving.
+func NewServer(o oracle.Oracle) *Server { return &Server{inner: o} }
+
+// Serve accepts connections until the listener is closed. It returns the
+// listener's error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	fmt.Fprintf(w, "inputs %s\n", strings.Join(s.inner.InputNames(), " "))
+	fmt.Fprintf(w, "outputs %s\n", strings.Join(s.inner.OutputNames(), " "))
+	if w.Flush() != nil {
+		return
+	}
+	nIn := s.inner.NumInputs()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" {
+			return
+		}
+		assign, err := parseBits(line, nIn)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			if w.Flush() != nil {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		out := s.inner.Eval(assign)
+		s.mu.Unlock()
+		if _, err := w.WriteString(formatBits(out) + "\n"); err != nil {
+			return
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+func parseBits(line string, want int) ([]bool, error) {
+	if len(line) != want {
+		return nil, fmt.Errorf("got %d bits, want %d", len(line), want)
+	}
+	out := make([]bool, want)
+	for i := 0; i < want; i++ {
+		switch line[i] {
+		case '0':
+		case '1':
+			out[i] = true
+		default:
+			return nil, fmt.Errorf("bad bit %q at position %d", line[i], i)
+		}
+	}
+	return out, nil
+}
+
+func formatBits(bits []bool) string {
+	buf := make([]byte, len(bits))
+	for i, b := range bits {
+		if b {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Client is an Oracle backed by a remote ioserve server. It is safe for
+// sequential use only (the learner is single-threaded per the contest
+// rules).
+type Client struct {
+	conn     net.Conn
+	r        *bufio.Scanner
+	w        *bufio.Writer
+	ins      []string
+	outs     []string
+	queryErr error // first transport error; subsequent Evals panic with it
+}
+
+// Dial connects to a server and reads the port-name greeting.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		r:    bufio.NewScanner(conn),
+		w:    bufio.NewWriter(conn),
+	}
+	c.r.Buffer(make([]byte, 1<<16), 1<<20)
+	ins, err := c.readHeader("inputs")
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	outs, err := c.readHeader("outputs")
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.ins, c.outs = ins, outs
+	return c, nil
+}
+
+func (c *Client) readHeader(keyword string) ([]string, error) {
+	if !c.r.Scan() {
+		return nil, fmt.Errorf("ioserve: connection closed during greeting")
+	}
+	fields := strings.Fields(c.r.Text())
+	if len(fields) < 1 || fields[0] != keyword {
+		return nil, fmt.Errorf("ioserve: expected %q line, got %q", keyword, c.r.Text())
+	}
+	return fields[1:], nil
+}
+
+// Close ends the session politely.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.w, "quit")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) NumInputs() int        { return len(c.ins) }
+func (c *Client) NumOutputs() int       { return len(c.outs) }
+func (c *Client) InputNames() []string  { return append([]string(nil), c.ins...) }
+func (c *Client) OutputNames() []string { return append([]string(nil), c.outs...) }
+
+// Eval issues one query. Transport failures panic: the learner has no
+// recovery story for a dead black box, matching the contest setting where a
+// dead iogen ends the run.
+func (c *Client) Eval(assignment []bool) []bool {
+	if c.queryErr != nil {
+		panic(c.queryErr)
+	}
+	if len(assignment) != len(c.ins) {
+		panic(fmt.Sprintf("ioserve: %d bits for %d inputs", len(assignment), len(c.ins)))
+	}
+	if _, err := c.w.WriteString(formatBits(assignment) + "\n"); err != nil {
+		c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		c.fail(err)
+	}
+	if !c.r.Scan() {
+		err := c.r.Err()
+		if err == nil {
+			err = fmt.Errorf("ioserve: server closed connection")
+		}
+		c.fail(err)
+	}
+	line := strings.TrimSpace(c.r.Text())
+	if strings.HasPrefix(line, "error:") {
+		c.fail(fmt.Errorf("ioserve: server rejected query: %s", line))
+	}
+	out, err := parseBits(line, len(c.outs))
+	if err != nil {
+		c.fail(fmt.Errorf("ioserve: bad reply: %w", err))
+	}
+	return out
+}
+
+func (c *Client) fail(err error) {
+	c.queryErr = err
+	panic(err)
+}
+
+var _ oracle.Oracle = (*Client)(nil)

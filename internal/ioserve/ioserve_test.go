@@ -1,0 +1,144 @@
+package ioserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"logicregression/internal/circuit"
+	"logicregression/internal/core"
+	"logicregression/internal/eval"
+	"logicregression/internal/oracle"
+)
+
+func startServer(t *testing.T, o oracle.Oracle) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go NewServer(o).Serve(ln)
+	return ln.Addr().String()
+}
+
+func golden() *circuit.Circuit {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	d := c.AddPI("d")
+	c.AddPO("z", c.Xor(c.And(a, b), d))
+	c.AddPO("w", c.Or(a, d))
+	return c
+}
+
+func TestClientMatchesDirectOracle(t *testing.T) {
+	g := golden()
+	addr := startServer(t, oracle.FromCircuit(g))
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.NumInputs() != 3 || cl.NumOutputs() != 2 {
+		t.Fatalf("arity %d/%d", cl.NumInputs(), cl.NumOutputs())
+	}
+	if cl.InputNames()[2] != "d" || cl.OutputNames()[1] != "w" {
+		t.Fatalf("names %v %v", cl.InputNames(), cl.OutputNames())
+	}
+	for m := 0; m < 8; m++ {
+		assign := []bool{m&1 == 1, m>>1&1 == 1, m>>2&1 == 1}
+		want := g.Eval(assign)
+		got := cl.Eval(assign)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("m=%d output %d mismatch", m, j)
+			}
+		}
+	}
+}
+
+func TestTwoConcurrentClients(t *testing.T) {
+	g := golden()
+	addr := startServer(t, oracle.FromCircuit(g))
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	a := []bool{true, true, false}
+	if c1.Eval(a)[0] != c2.Eval(a)[0] {
+		t.Fatal("clients disagree")
+	}
+}
+
+func TestServerRejectsMalformedQueriesButStaysUp(t *testing.T) {
+	addr := startServer(t, oracle.FromCircuit(golden()))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Scan()                  // inputs
+	r.Scan()                  // outputs
+	fmt.Fprintln(conn, "10")  // wrong arity
+	fmt.Fprintln(conn, "1x0") // bad character
+	fmt.Fprintln(conn, "110") // valid
+	var lines []string
+	for i := 0; i < 3 && r.Scan(); i++ {
+		lines = append(lines, r.Text())
+	}
+	if len(lines) != 3 {
+		t.Fatalf("replies: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "error:") || !strings.HasPrefix(lines[1], "error:") {
+		t.Fatalf("malformed queries not rejected: %v", lines)
+	}
+	if strings.HasPrefix(lines[2], "error:") {
+		t.Fatalf("valid query rejected: %v", lines[2])
+	}
+}
+
+func TestLearnThroughTheWire(t *testing.T) {
+	// End-to-end: the full pipeline driving a remote black box.
+	g := golden()
+	addr := startServer(t, oracle.FromCircuit(g))
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res := core.Learn(cl, core.Options{Seed: 1, SupportR: 128, DisableOptimization: true})
+	rep := eval.Measure(oracle.FromCircuit(g), oracle.FromCircuit(res.Circuit),
+		eval.Config{Patterns: 2000, Seed: 5})
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy through the wire = %f", rep.Accuracy)
+	}
+}
+
+func TestDialFailsOnBadGreeting(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fmt.Fprintln(conn, "hello there")
+		conn.Close()
+	}()
+	if _, err := Dial(ln.Addr().String()); err == nil {
+		t.Fatal("Dial accepted a bad greeting")
+	}
+}

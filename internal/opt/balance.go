@@ -1,0 +1,100 @@
+package opt
+
+// Balance implements the ABC-style `balance` pass: maximal AND-chains are
+// flattened into multi-input conjunctions and rebuilt as delay-minimal trees
+// by Huffman-combining the lowest-level operands first. Gate count never
+// increases (flattening only follows single-fanout, uncomplemented edges, so
+// no logic is duplicated) and depth typically drops from chain-length to
+// log.
+
+import (
+	"sort"
+
+	"logicregression/internal/aig"
+)
+
+// Balance returns a depth-balanced equivalent of g.
+func Balance(g *aig.AIG) *aig.AIG {
+	nFanout := fanoutCounts(g)
+	out := aig.New(g.PINames())
+	m := make([]aig.Lit, g.NumNodes())
+	m[0] = aig.False
+	for i := 0; i < g.NumPIs(); i++ {
+		m[i+1] = out.PI(i)
+	}
+	resolve := func(l aig.Lit) aig.Lit {
+		nl := m[l.Node()]
+		if l.Compl() {
+			nl = nl.Not()
+		}
+		return nl
+	}
+
+	// levels[n] is the AND-depth of node n in `out` (0 for PIs/constant).
+	levels := make([]int, out.NumNodes(), g.NumNodes())
+	levelOf := func(l aig.Lit) int { return levels[l.Node()] }
+	mkAnd := func(a, b aig.Lit) aig.Lit {
+		r := out.And(a, b)
+		for len(levels) < out.NumNodes() {
+			levels = append(levels, 0)
+		}
+		if out.IsAnd(r.Node()) && levels[r.Node()] == 0 {
+			levels[r.Node()] = 1 + max(levelOf(a), levelOf(b))
+		}
+		return r
+	}
+
+	// collect gathers the leaves of the maximal AND-tree rooted at node n,
+	// following uncomplemented fanin edges into single-fanout AND nodes.
+	var collect func(l aig.Lit, root int, leaves *[]aig.Lit)
+	collect = func(l aig.Lit, root int, leaves *[]aig.Lit) {
+		n := l.Node()
+		if !l.Compl() && g.IsAnd(n) && (n == root || nFanout[n] == 1) {
+			f0, f1 := g.Fanins(n)
+			collect(f0, root, leaves)
+			collect(f1, root, leaves)
+			return
+		}
+		*leaves = append(*leaves, resolve(l))
+	}
+
+	for n := g.NumPIs() + 1; n < g.NumNodes(); n++ {
+		var leaves []aig.Lit
+		collect(aig.MkLit(n, false), n, &leaves)
+		// Huffman: repeatedly combine the two shallowest operands.
+		sort.SliceStable(leaves, func(i, j int) bool {
+			return levelOf(leaves[i]) < levelOf(leaves[j])
+		})
+		for len(leaves) > 1 {
+			a, b := leaves[0], leaves[1]
+			leaves = leaves[2:]
+			r := mkAnd(a, b)
+			// Insert keeping the level order.
+			pos := sort.Search(len(leaves), func(i int) bool {
+				return levelOf(leaves[i]) >= levelOf(r)
+			})
+			leaves = append(leaves, 0)
+			copy(leaves[pos+1:], leaves[pos:])
+			leaves[pos] = r
+		}
+		m[n] = leaves[0]
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		out.AddPO(g.PONames()[i], resolve(g.PO(i)))
+	}
+	return out
+}
+
+// fanoutCounts returns per-node fanout counts over reachable logic.
+func fanoutCounts(g *aig.AIG) []int {
+	cnt := make([]int, g.NumNodes())
+	for n := g.NumPIs() + 1; n < g.NumNodes(); n++ {
+		f0, f1 := g.Fanins(n)
+		cnt[f0.Node()]++
+		cnt[f1.Node()]++
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		cnt[g.PO(i).Node()]++
+	}
+	return cnt
+}

@@ -1,0 +1,38 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"logicregression/internal/aig"
+)
+
+func BenchmarkOptimizePipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	c := randomCircuit(rng, 12, 400, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(c, Config{Seed: 1})
+	}
+	b.ReportMetric(float64(c.Size()), "input-gates")
+}
+
+func BenchmarkFraig(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomCircuit(rng, 12, 600, 4)
+	g := aig.FromCircuit(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fraig(g, Config{Seed: int64(i)})
+	}
+}
+
+func BenchmarkRewrite(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	c := randomCircuit(rng, 16, 2000, 4)
+	g := aig.FromCircuit(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rewrite(g)
+	}
+}

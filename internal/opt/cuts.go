@@ -1,0 +1,169 @@
+package opt
+
+// K-feasible cut enumeration with truth tables, the standard analysis
+// behind DAG-aware rewriting. For every AND node the enumerator maintains a
+// bounded set of 6-input cuts; each cut carries the node's local function
+// over the cut leaves as a 64-bit truth table (internal/tt), computed
+// bottom-up.
+
+import (
+	"sort"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/tt"
+)
+
+const (
+	cutK       = 6 // max leaves per cut
+	cutsPerNow = 8 // max cuts kept per node
+)
+
+// cut is a set of at most cutK leaf nodes (sorted ascending) plus the truth
+// table of the cut root over those leaves: bit m of tt gives the root value
+// when leaf i carries bit i of m.
+type cut struct {
+	leaves []int
+	tt     tt.Table
+}
+
+// cutSet is the per-node collection.
+type cutSet []cut
+
+// enumerateCuts computes cut sets for every node of g.
+func enumerateCuts(g *aig.AIG) []cutSet {
+	sets := make([]cutSet, g.NumNodes())
+	// Constant node: trivial cut with empty leaf set, tt = 0.
+	sets[0] = cutSet{{leaves: nil, tt: 0}}
+	// A PI's only cut is itself; its table is the identity on variable 0.
+	for i := 1; i <= g.NumPIs(); i++ {
+		sets[i] = cutSet{{leaves: []int{i}, tt: tt.Var(0)}}
+	}
+	for n := g.NumPIs() + 1; n < g.NumNodes(); n++ {
+		f0, f1 := g.Fanins(n)
+		s0 := sets[f0.Node()]
+		s1 := sets[f1.Node()]
+		var merged cutSet
+		for _, c0 := range s0 {
+			for _, c1 := range s1 {
+				leaves, ok := mergeLeaves(c0.leaves, c1.leaves)
+				if !ok {
+					continue
+				}
+				t0 := expandTT(c0.tt, c0.leaves, leaves)
+				t1 := expandTT(c1.tt, c1.leaves, leaves)
+				if f0.Compl() {
+					t0 = ^t0
+				}
+				if f1.Compl() {
+					t1 = ^t1
+				}
+				merged = append(merged, cut{leaves: leaves, tt: t0 & t1})
+			}
+		}
+		// The trivial cut (the node itself).
+		merged = append(merged, cut{leaves: []int{n}, tt: tt.Var(0)})
+		sets[n] = pruneCuts(merged)
+	}
+	return sets
+}
+
+// mergeLeaves unions two sorted leaf sets, failing when the union exceeds
+// cutK.
+func mergeLeaves(a, b []int) ([]int, bool) {
+	out := make([]int, 0, cutK)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next int
+		switch {
+		case i >= len(a):
+			next = b[j]
+			j++
+		case j >= len(b):
+			next = a[i]
+			i++
+		case a[i] < b[j]:
+			next = a[i]
+			i++
+		case a[i] > b[j]:
+			next = b[j]
+			j++
+		default:
+			next = a[i]
+			i++
+			j++
+		}
+		if len(out) == cutK {
+			return nil, false
+		}
+		out = append(out, next)
+	}
+	return out, true
+}
+
+// expandTT re-expresses a truth table over oldLeaves in terms of newLeaves
+// (a superset).
+func expandTT(t tt.Table, oldLeaves, newLeaves []int) tt.Table {
+	if len(oldLeaves) == len(newLeaves) {
+		return t
+	}
+	// Map old variable positions to new ones.
+	var pos [cutK]int
+	j := 0
+	for i, l := range oldLeaves {
+		for newLeaves[j] != l {
+			j++
+		}
+		pos[i] = j
+	}
+	var out tt.Table
+	for m := 0; m < 64; m++ {
+		// Project minterm m of the new space onto the old space.
+		var om int
+		for i := 0; i < len(oldLeaves); i++ {
+			if m>>uint(pos[i])&1 == 1 {
+				om |= 1 << uint(i)
+			}
+		}
+		if t.Eval(om) {
+			out |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+// pruneCuts deduplicates, removes dominated cuts (supersets of another
+// cut), and bounds the set size preferring fewer leaves.
+func pruneCuts(cs cutSet) cutSet {
+	sort.Slice(cs, func(i, j int) bool { return len(cs[i].leaves) < len(cs[j].leaves) })
+	var out cutSet
+	for _, c := range cs {
+		dominated := false
+		for _, kept := range out {
+			if leavesSubset(kept.leaves, c.leaves) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+			if len(out) == cutsPerNow {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// leavesSubset reports whether a ⊆ b (both sorted).
+func leavesSubset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,37 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"logicregression/internal/circuit"
+)
+
+func TestOptimizeWithBalanceDepth(t *testing.T) {
+	// A long AND chain: size-optimal already, but deep. With BalanceDepth
+	// the result keeps its size and flattens.
+	c := circuit.New()
+	var acc circuit.Signal
+	for i := 0; i < 32; i++ {
+		pi := c.AddPI("x" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		if i == 0 {
+			acc = pi
+		} else {
+			acc = c.And(acc, pi)
+		}
+	}
+	c.AddPO("z", acc)
+
+	plain := Optimize(c, Config{Seed: 1})
+	balanced := Optimize(c, Config{Seed: 1, BalanceDepth: true})
+	if balanced.Size() > plain.Size() {
+		t.Fatalf("balance grew size: %d vs %d", balanced.Size(), plain.Size())
+	}
+	if bd, pd := balanced.Stats().Depth, plain.Stats().Depth; bd > pd {
+		t.Fatalf("balance increased depth: %d vs %d", bd, pd)
+	}
+	if balanced.Stats().Depth > 6 {
+		t.Fatalf("balanced depth = %d, want ~log2(32)", balanced.Stats().Depth)
+	}
+	simEqual(t, c, balanced, rand.New(rand.NewSource(5)), 60)
+}

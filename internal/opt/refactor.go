@@ -1,0 +1,195 @@
+package opt
+
+// Refactor is a DAG-aware cut-based resynthesis pass: while rebuilding the
+// AIG bottom-up, each node is constructed two ways — the structural default
+// (AND of its mapped fanins) and, for each enumerated 4-input cut, a fresh
+// two-level realization of the cut function (smaller of the ISOP of the
+// onset and offset) — and the variant that adds the fewest NEW nodes to the
+// output graph wins. Structural-hash hits cost nothing, so the pass is
+// sharing-aware by construction; trial candidates are rolled back with the
+// AIG's Mark/Truncate checkpointing.
+
+import (
+	"math/bits"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/tt"
+)
+
+// Refactor returns a resynthesized equivalent of g with at most the same
+// number of AND nodes per constructed function.
+func Refactor(g *aig.AIG) *aig.AIG {
+	cuts := enumerateCuts(g)
+	out := aig.New(g.PINames())
+	m := make([]aig.Lit, g.NumNodes())
+	m[0] = aig.False
+	for i := 0; i < g.NumPIs(); i++ {
+		m[i+1] = out.PI(i)
+	}
+	resolve := func(l aig.Lit) aig.Lit {
+		nl := m[l.Node()]
+		if l.Compl() {
+			nl = nl.Not()
+		}
+		return nl
+	}
+
+	for n := g.NumPIs() + 1; n < g.NumNodes(); n++ {
+		f0, f1 := g.Fanins(n)
+		// Candidate 0: structural default.
+		mark := out.Mark()
+		best := out.And(resolve(f0), resolve(f1))
+		bestCost := out.Mark() - mark
+		bestIsDefault := true
+
+		for _, c := range cuts[n] {
+			if len(c.leaves) < 2 || (len(c.leaves) == 1 && c.leaves[0] == n) {
+				continue
+			}
+			// Skip cuts whose leaves are not strictly below n (the
+			// trivial self-cut) — all enumerated non-trivial cuts
+			// qualify by construction.
+			leafLits := make([]aig.Lit, len(c.leaves))
+			usable := true
+			for i, leaf := range c.leaves {
+				if leaf == n {
+					usable = false
+					break
+				}
+				leafLits[i] = m[leaf]
+			}
+			if !usable {
+				continue
+			}
+			trialMark := out.Mark()
+			cand := synthesizeTT(out, c.tt, leafLits)
+			cost := out.Mark() - trialMark
+			if cost < bestCost {
+				// Keep: drop the previous best if it was freshly built
+				// and sits above this trial... node indices interleave,
+				// so simply adopt the new candidate; unused trial nodes
+				// are cleaned by the final Rebuild.
+				best = cand
+				bestCost = cost
+				bestIsDefault = false
+			} else {
+				out.Truncate(trialMark)
+			}
+			if bestCost == 0 {
+				break // strash hit: cannot do better
+			}
+		}
+		_ = bestIsDefault
+		m[n] = best
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		out.AddPO(g.PONames()[i], resolve(g.PO(i)))
+	}
+	// Drop any dangling trial logic.
+	return out.Rebuild(nil)
+}
+
+// synthesizeTT builds the cut truth table over the given leaf edges as
+// two-level logic, choosing the cheaper of the onset and offset covers
+// (costed by literal count before anything is constructed).
+func synthesizeTT(g *aig.AIG, table tt.Table, leaves []aig.Lit) aig.Lit {
+	nVars := len(leaves)
+	mask := tt.Mask(nVars)
+	full := table & mask
+	switch full {
+	case 0:
+		return aig.False
+	case mask:
+		return aig.True
+	}
+	onImps := mergeImplicants(full, nVars)
+	offImps := mergeImplicants(^full&mask, nVars)
+	if implicantCost(offImps) < implicantCost(onImps) {
+		return buildCover(g, offImps, nVars, leaves).Not()
+	}
+	return buildCover(g, onImps, nVars, leaves)
+}
+
+// implicant is a cube over cut variables: value under the care mask.
+type implicant struct {
+	value, care int
+}
+
+func implicantCost(imps []implicant) int {
+	n := len(imps)
+	for _, imp := range imps {
+		n += bits.OnesCount(uint(imp.care))
+	}
+	return n
+}
+
+// mergeImplicants lists the onset minterms of tt and greedily combines
+// implicants differing in one cared bit (the Quine growth step; the space
+// has at most 16 minterms, so the simple quadratic pass is fine).
+func mergeImplicants(table tt.Table, nVars int) []implicant {
+	size := 1 << uint(nVars)
+	var work []implicant
+	for mnt := 0; mnt < size; mnt++ {
+		if table.Eval(mnt) {
+			work = append(work, implicant{value: mnt, care: size - 1})
+		}
+	}
+	// Iteratively merge implicants differing in exactly one cared bit.
+	for {
+		merged := false
+		seen := make(map[[2]int]bool)
+		var next []implicant
+		used := make([]bool, len(work))
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if work[i].care != work[j].care || used[i] || used[j] {
+					continue
+				}
+				diff := (work[i].value ^ work[j].value) & work[i].care
+				if diff != 0 && diff&(diff-1) == 0 {
+					ni := implicant{value: work[i].value &^ diff, care: work[i].care &^ diff}
+					if !seen[[2]int{ni.value, ni.care}] {
+						seen[[2]int{ni.value, ni.care}] = true
+						next = append(next, ni)
+					}
+					used[i], used[j] = true, true
+					merged = true
+				}
+			}
+		}
+		for i, imp := range work {
+			if !used[i] {
+				if !seen[[2]int{imp.value, imp.care}] {
+					seen[[2]int{imp.value, imp.care}] = true
+					next = append(next, imp)
+				}
+			}
+		}
+		work = next
+		if !merged {
+			break
+		}
+	}
+
+	return work
+}
+
+// buildCover constructs OR-of-AND-cubes over the leaf edges.
+func buildCover(g *aig.AIG, imps []implicant, nVars int, leaves []aig.Lit) aig.Lit {
+	acc := aig.False
+	for _, imp := range imps {
+		cube := aig.True
+		for v := 0; v < nVars; v++ {
+			if imp.care>>uint(v)&1 == 0 {
+				continue
+			}
+			l := leaves[v]
+			if imp.value>>uint(v)&1 == 0 {
+				l = l.Not()
+			}
+			cube = g.And(cube, l)
+		}
+		acc = g.Or(acc, cube)
+	}
+	return acc
+}

@@ -1,0 +1,243 @@
+// Package oracle defines the black-box input-output relation generator
+// interface of the contest problem and the standard wrappers around it.
+//
+// Per the problem statement, an oracle accepts only full input assignments
+// and returns full output assignments; nothing else about the hidden function
+// is observable. The circuit-backed implementation stands in for the contest
+// `iogen` executables (see DESIGN.md substitutions).
+package oracle
+
+import (
+	"fmt"
+	"sync"
+
+	"logicregression/internal/circuit"
+)
+
+// Oracle is a black-box IO-relation generator.
+type Oracle interface {
+	// NumInputs returns |I|.
+	NumInputs() int
+	// NumOutputs returns |O|.
+	NumOutputs() int
+	// InputNames returns the PI names, the only structural hint the
+	// contest provides (exploited by name-based grouping).
+	InputNames() []string
+	// OutputNames returns the PO names.
+	OutputNames() []string
+	// Eval queries the generator with one full assignment.
+	Eval(assignment []bool) []bool
+}
+
+// WordOracle is implemented by oracles that can answer 64 queries at once
+// (bit k of each word is query k). Each word call counts as 64 queries; the
+// information interface is unchanged, this is purely a simulation speedup.
+type WordOracle interface {
+	Oracle
+	EvalWords(inputs []uint64) []uint64
+}
+
+// CircuitOracle wraps a circuit as a black box.
+type CircuitOracle struct {
+	c *circuit.Circuit
+}
+
+// FromCircuit returns an oracle backed by the given circuit.
+func FromCircuit(c *circuit.Circuit) *CircuitOracle {
+	return &CircuitOracle{c: c}
+}
+
+func (o *CircuitOracle) NumInputs() int        { return o.c.NumPI() }
+func (o *CircuitOracle) NumOutputs() int       { return o.c.NumPO() }
+func (o *CircuitOracle) InputNames() []string  { return o.c.PINames() }
+func (o *CircuitOracle) OutputNames() []string { return o.c.PONames() }
+func (o *CircuitOracle) Eval(a []bool) []bool  { return o.c.Eval(a) }
+func (o *CircuitOracle) EvalWords(in []uint64) []uint64 {
+	return o.c.EvalWords(in)
+}
+
+// FuncOracle adapts a Go function to the Oracle interface, for tests.
+type FuncOracle struct {
+	Ins, Outs []string
+	F         func([]bool) []bool
+}
+
+func (o *FuncOracle) NumInputs() int        { return len(o.Ins) }
+func (o *FuncOracle) NumOutputs() int       { return len(o.Outs) }
+func (o *FuncOracle) InputNames() []string  { return append([]string(nil), o.Ins...) }
+func (o *FuncOracle) OutputNames() []string { return append([]string(nil), o.Outs...) }
+func (o *FuncOracle) Eval(a []bool) []bool  { return o.F(a) }
+
+// Counter wraps an oracle and counts queries. It is safe for concurrent use.
+type Counter struct {
+	inner   Oracle
+	mu      sync.Mutex
+	queries int64
+}
+
+// NewCounter wraps o with a query counter.
+func NewCounter(o Oracle) *Counter { return &Counter{inner: o} }
+
+func (o *Counter) NumInputs() int        { return o.inner.NumInputs() }
+func (o *Counter) NumOutputs() int       { return o.inner.NumOutputs() }
+func (o *Counter) InputNames() []string  { return o.inner.InputNames() }
+func (o *Counter) OutputNames() []string { return o.inner.OutputNames() }
+
+func (o *Counter) Eval(a []bool) []bool {
+	o.mu.Lock()
+	o.queries++
+	o.mu.Unlock()
+	return o.inner.Eval(a)
+}
+
+// EvalWords forwards to the inner oracle's word interface when present and
+// otherwise falls back to 64 scalar queries. Either way it accounts 64
+// queries.
+func (o *Counter) EvalWords(in []uint64) []uint64 {
+	o.mu.Lock()
+	o.queries += 64
+	o.mu.Unlock()
+	if w, ok := o.inner.(WordOracle); ok {
+		return w.EvalWords(in)
+	}
+	return scalarEvalWords(o.inner, in)
+}
+
+// Queries returns the number of queries issued so far.
+func (o *Counter) Queries() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.queries
+}
+
+// Reset zeroes the query counter.
+func (o *Counter) Reset() {
+	o.mu.Lock()
+	o.queries = 0
+	o.mu.Unlock()
+}
+
+// scalarEvalWords answers a 64-wide query with 64 scalar oracle calls.
+func scalarEvalWords(o Oracle, in []uint64) []uint64 {
+	out := make([]uint64, o.NumOutputs())
+	assign := make([]bool, len(in))
+	for k := 0; k < 64; k++ {
+		for i, w := range in {
+			assign[i] = w>>uint(k)&1 == 1
+		}
+		res := o.Eval(assign)
+		for j, b := range res {
+			if b {
+				out[j] |= 1 << uint(k)
+			}
+		}
+	}
+	return out
+}
+
+// EvalWords evaluates 64 parallel queries on any oracle, using the word
+// interface when available.
+func EvalWords(o Oracle, in []uint64) []uint64 {
+	if w, ok := o.(WordOracle); ok {
+		return w.EvalWords(in)
+	}
+	return scalarEvalWords(o, in)
+}
+
+// Memo wraps an oracle with a response cache keyed on the full assignment.
+// The contest allows repeated queries, but caching keeps the learner's query
+// count honest when the tree resamples overlapping regions.
+type Memo struct {
+	inner Oracle
+	mu    sync.Mutex
+	cache map[string][]bool
+	hits  int64
+}
+
+// NewMemo wraps o with a memoization cache.
+func NewMemo(o Oracle) *Memo {
+	return &Memo{inner: o, cache: make(map[string][]bool)}
+}
+
+func (o *Memo) NumInputs() int        { return o.inner.NumInputs() }
+func (o *Memo) NumOutputs() int       { return o.inner.NumOutputs() }
+func (o *Memo) InputNames() []string  { return o.inner.InputNames() }
+func (o *Memo) OutputNames() []string { return o.inner.OutputNames() }
+
+func (o *Memo) Eval(a []bool) []bool {
+	key := assignKey(a)
+	o.mu.Lock()
+	if v, ok := o.cache[key]; ok {
+		o.hits++
+		o.mu.Unlock()
+		return append([]bool(nil), v...)
+	}
+	o.mu.Unlock()
+	v := o.inner.Eval(a)
+	o.mu.Lock()
+	o.cache[key] = append([]bool(nil), v...)
+	o.mu.Unlock()
+	return v
+}
+
+// Hits returns the number of cache hits.
+func (o *Memo) Hits() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.hits
+}
+
+func assignKey(a []bool) string {
+	buf := make([]byte, (len(a)+7)/8)
+	for i, b := range a {
+		if b {
+			buf[i>>3] |= 1 << uint(i&7)
+		}
+	}
+	return string(buf)
+}
+
+// Validate checks basic interface sanity of an oracle implementation: name
+// counts match arities and Eval returns the declared number of outputs.
+func Validate(o Oracle) error {
+	if len(o.InputNames()) != o.NumInputs() {
+		return fmt.Errorf("oracle: %d input names for %d inputs", len(o.InputNames()), o.NumInputs())
+	}
+	if len(o.OutputNames()) != o.NumOutputs() {
+		return fmt.Errorf("oracle: %d output names for %d outputs", len(o.OutputNames()), o.NumOutputs())
+	}
+	out := o.Eval(make([]bool, o.NumInputs()))
+	if len(out) != o.NumOutputs() {
+		return fmt.Errorf("oracle: Eval returned %d outputs, want %d", len(out), o.NumOutputs())
+	}
+	return nil
+}
+
+// Project restricts a multi-output oracle to a single output index, which is
+// how the learner decomposes the problem per Sec. IV ("each output can be
+// considered independently").
+type Project struct {
+	inner Oracle
+	out   int
+}
+
+// NewProject returns a single-output view of output index out.
+func NewProject(o Oracle, out int) *Project {
+	if out < 0 || out >= o.NumOutputs() {
+		panic(fmt.Sprintf("oracle: output %d out of range [0,%d)", out, o.NumOutputs()))
+	}
+	return &Project{inner: o, out: out}
+}
+
+func (o *Project) NumInputs() int        { return o.inner.NumInputs() }
+func (o *Project) NumOutputs() int       { return 1 }
+func (o *Project) InputNames() []string  { return o.inner.InputNames() }
+func (o *Project) OutputNames() []string { return []string{o.inner.OutputNames()[o.out]} }
+
+func (o *Project) Eval(a []bool) []bool {
+	return []bool{o.inner.Eval(a)[o.out]}
+}
+
+func (o *Project) EvalWords(in []uint64) []uint64 {
+	return []uint64{EvalWords(o.inner, in)[o.out]}
+}

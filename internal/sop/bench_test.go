@@ -1,0 +1,57 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCover builds n cubes over v variables with the given literal density.
+func randomCover(rng *rand.Rand, n, v int, density float64) Cover {
+	var cv Cover
+	for k := 0; k < n; k++ {
+		var lits []Literal
+		for x := 0; x < v; x++ {
+			if rng.Float64() < density {
+				lits = append(lits, Literal{Var: x, Neg: rng.Intn(2) == 1})
+			}
+		}
+		c, ok := NewCube(lits...)
+		if ok {
+			cv = append(cv, c)
+		}
+	}
+	return cv
+}
+
+func BenchmarkMinimizeMintermHeavy(b *testing.B) {
+	// Full-width minterm covers are what the FBDT's truncated trees emit.
+	rng := rand.New(rand.NewSource(5))
+	cv := randomCover(rng, 2000, 24, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(cv)
+	}
+	b.ReportMetric(float64(len(cv)), "cubes/op")
+}
+
+func BenchmarkMinimizeSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	cv := randomCover(rng, 2000, 40, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(cv)
+	}
+}
+
+func BenchmarkCoverEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	cv := randomCover(rng, 500, 32, 0.5)
+	assign := make([]bool, 32)
+	for i := range assign {
+		assign[i] = rng.Intn(2) == 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv.Eval(assign)
+	}
+}

@@ -1,0 +1,134 @@
+package sop
+
+// Algebraic factoring (SIS-style "quick factor"): a cover is synthesized as
+// multi-level logic by recursively dividing out the most frequent literal,
+//
+//	F  =  l * (F / l)  +  (F - cubes containing l)
+//
+// which shares the literal across its quotient instead of repeating it in
+// every cube. On the structured covers the learner produces this typically
+// shrinks gate counts severalfold versus flat AND-OR synthesis — the same
+// role `dc2`-class multilevel synthesis plays for the paper.
+
+import "logicregression/internal/circuit"
+
+// SynthesizeFactored builds the cover as factored multi-level gates in c.
+// vars maps variable ids to signals; negate complements the result (the
+// offset-cover option). The flat Synthesize remains available for callers
+// that need two-level structure.
+func SynthesizeFactored(c *circuit.Circuit, cv Cover, vars []circuit.Signal, negate bool) circuit.Signal {
+	lits := newLitSignals(c, vars)
+	out := factor(c, cv.Clone(), lits)
+	if negate {
+		out = c.NotGate(out)
+	}
+	return out
+}
+
+// litSignals caches the signal of every literal so complemented variables
+// are inverted once, not once per cube.
+type litSignals struct {
+	c    *circuit.Circuit
+	pos  []circuit.Signal
+	neg  []circuit.Signal
+	have []bool
+}
+
+func newLitSignals(c *circuit.Circuit, vars []circuit.Signal) *litSignals {
+	return &litSignals{
+		c:    c,
+		pos:  vars,
+		neg:  make([]circuit.Signal, len(vars)),
+		have: make([]bool, len(vars)),
+	}
+}
+
+func (ls *litSignals) signal(l Literal) circuit.Signal {
+	if !l.Neg {
+		return ls.pos[l.Var]
+	}
+	if !ls.have[l.Var] {
+		ls.neg[l.Var] = ls.c.NotGate(ls.pos[l.Var])
+		ls.have[l.Var] = true
+	}
+	return ls.neg[l.Var]
+}
+
+// factor recursively synthesizes the cover.
+func factor(c *circuit.Circuit, cv Cover, lits *litSignals) circuit.Signal {
+	switch len(cv) {
+	case 0:
+		return c.Const(false)
+	case 1:
+		return andCube(c, cv[0], lits)
+	}
+	best, count := mostFrequentLiteral(cv)
+	if count < 2 {
+		// No sharing available: flat OR of cube ANDs.
+		terms := make([]circuit.Signal, len(cv))
+		for i, cube := range cv {
+			terms[i] = andCube(c, cube, lits)
+		}
+		return c.OrTree(terms)
+	}
+	var quotient, remainder Cover
+	for _, cube := range cv {
+		if l, ok := cube.Has(best.Var); ok && l.Neg == best.Neg {
+			quotient = append(quotient, removeVar(cube, best.Var))
+		} else {
+			remainder = append(remainder, cube)
+		}
+	}
+	q := c.And(lits.signal(best), factor(c, quotient, lits))
+	if len(remainder) == 0 {
+		return q
+	}
+	return c.Or(q, factor(c, remainder, lits))
+}
+
+func andCube(c *circuit.Circuit, cube Cube, lits *litSignals) circuit.Signal {
+	if len(cube) == 0 {
+		return c.Const(true)
+	}
+	sigs := make([]circuit.Signal, len(cube))
+	for i, l := range cube {
+		sigs[i] = lits.signal(l)
+	}
+	return c.AndTree(sigs)
+}
+
+// mostFrequentLiteral scans the cover for the literal occurring in the most
+// cubes.
+func mostFrequentLiteral(cv Cover) (Literal, int) {
+	counts := make(map[Literal]int)
+	var best Literal
+	bestN := 0
+	for _, cube := range cv {
+		for _, l := range cube {
+			counts[l]++
+			if counts[l] > bestN || (counts[l] == bestN && less(l, best)) {
+				best = l
+				bestN = counts[l]
+			}
+		}
+	}
+	return best, bestN
+}
+
+// less gives a deterministic tie-break order on literals.
+func less(a, b Literal) bool {
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	return !a.Neg && b.Neg
+}
+
+func removeVar(cube Cube, v int) Cube {
+	out := make(Cube, 0, len(cube)-1)
+	for _, l := range cube {
+		if l.Var != v {
+			out = append(out, l)
+		}
+	}
+	return out
+}

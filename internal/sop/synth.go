@@ -1,0 +1,28 @@
+package sop
+
+import "logicregression/internal/circuit"
+
+// Synthesize builds the cover as gates in c. vars maps variable ids to
+// circuit signals (typically PI signals). When negate is true, the
+// constructed function is the complement of the cover, which implements the
+// paper's offset-cube option (Sec. IV-D trick 2): the cover describes the
+// offset and the output is its inversion.
+func Synthesize(c *circuit.Circuit, cv Cover, vars []circuit.Signal, negate bool) circuit.Signal {
+	terms := make([]circuit.Signal, 0, len(cv))
+	for _, cube := range cv {
+		lits := make([]circuit.Signal, 0, len(cube))
+		for _, l := range cube {
+			s := vars[l.Var]
+			if l.Neg {
+				s = c.NotGate(s)
+			}
+			lits = append(lits, s)
+		}
+		terms = append(terms, c.AndTree(lits))
+	}
+	out := c.OrTree(terms)
+	if negate {
+		out = c.NotGate(out)
+	}
+	return out
+}

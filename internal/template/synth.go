@@ -1,0 +1,72 @@
+package template
+
+import "logicregression/internal/circuit"
+
+// Synthesize builds the matched comparator as gates in c. piSigs maps PI
+// indices (the V1/V2 port positions) to signals.
+func (cm CompMatch) Synthesize(c *circuit.Circuit, piSigs []circuit.Signal) circuit.Signal {
+	w1 := portsToWord(cm.V1.Ports, piSigs)
+	var s circuit.Signal
+	if cm.V2 != nil {
+		s = cm.Op.Build(c, w1, portsToWord(cm.V2.Ports, piSigs))
+	} else {
+		s = cm.Op.BuildConst(c, w1, cm.Const)
+	}
+	if cm.Negated {
+		s = c.NotGate(s)
+	}
+	return s
+}
+
+// Predict evaluates the matched comparator on an input assignment.
+func (cm CompMatch) Predict(assignment []bool) bool {
+	x1 := cm.V1.Decode(assignment)
+	var x2 uint64
+	if cm.V2 != nil {
+		x2 = cm.V2.Decode(assignment)
+	} else {
+		x2 = cm.Const
+	}
+	return cm.Op.Eval(x1, x2) != cm.Negated
+}
+
+// Synthesize builds the matched linear relation as gates in c and returns
+// one signal per output-vector bit (Width bits). Unit coefficients skip the
+// shift-and-add multiplier and the accumulator starts from the first term
+// instead of a constant word, keeping the pre-optimization netlist close to
+// a plain ripple-adder chain.
+func (lm LinMatch) Synthesize(c *circuit.Circuit, piSigs []circuit.Signal) circuit.Word {
+	var acc circuit.Word
+	for _, t := range lm.Terms {
+		in := portsToWord(t.Vec.Ports, piSigs)
+		var term circuit.Word
+		if t.A == 1 {
+			term = c.ZeroExtend(in, lm.Width)
+		} else {
+			term = c.MulConst(in, t.A, lm.Width)
+		}
+		if acc == nil {
+			acc = term
+		} else {
+			acc = c.AddWords(acc, term)
+		}
+	}
+	if acc == nil {
+		return c.ConstWord(lm.B, lm.Width)
+	}
+	if lm.B != 0 {
+		acc = c.AddWords(acc, c.ConstWord(lm.B, lm.Width))
+	}
+	return acc[:lm.Width]
+}
+
+func portsToWord(ports []int, piSigs []circuit.Signal) circuit.Word {
+	w := make(circuit.Word, 0, len(ports))
+	for i, p := range ports {
+		if i >= 64 {
+			break
+		}
+		w = append(w, piSigs[p])
+	}
+	return w
+}

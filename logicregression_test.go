@@ -1,0 +1,73 @@
+package logicregression
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Hidden function: majority of three named inputs, via the func oracle.
+	golden := NewFuncOracle(
+		[]string{"a", "b", "c"},
+		[]string{"maj"},
+		func(in []bool) []bool {
+			n := 0
+			for _, b := range in {
+				if b {
+					n++
+				}
+			}
+			return []bool{n >= 2}
+		},
+	)
+	res := Learn(golden, Options{Seed: 1})
+	if res.Circuit == nil || res.Circuit.NumPO() != 1 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	rep := Accuracy(golden, NewCircuitOracle(res.Circuit), EvalConfig{Patterns: 3000, Seed: 1})
+	if rep.Accuracy != 1 {
+		t.Fatalf("accuracy = %f", rep.Accuracy)
+	}
+}
+
+func TestPublicCasesAccessible(t *testing.T) {
+	all := Cases()
+	if len(all) != 20 {
+		t.Fatalf("%d cases", len(all))
+	}
+	c, err := CaseByName("case_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Circuit.NumPI() != 26 {
+		t.Fatalf("case_16 PIs = %d", c.Circuit.NumPI())
+	}
+}
+
+func TestPublicNetlistRoundTrip(t *testing.T) {
+	c, _ := CaseByName("case_16")
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, c.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPI() != c.Circuit.NumPI() || back.NumPO() != c.Circuit.NumPO() {
+		t.Fatal("round trip changed arity")
+	}
+}
+
+func TestLearnOnSyntheticCase(t *testing.T) {
+	c, _ := CaseByName("case_16") // small DIAG case: exact and fast
+	golden := c.Oracle()
+	res := Learn(golden, Options{Seed: 3})
+	rep := Accuracy(golden, NewCircuitOracle(res.Circuit), EvalConfig{Patterns: 6000, Seed: 2})
+	if rep.Accuracy != 1 {
+		t.Fatalf("case_16 accuracy = %f (outputs %+v)", rep.Accuracy, res.Outputs)
+	}
+	if res.Size >= c.Circuit.Size()*4 {
+		t.Fatalf("learned size %d vs golden %d", res.Size, c.Circuit.Size())
+	}
+}
