@@ -23,6 +23,7 @@ func main() {
 		caseName = flag.String("case", "", "built-in case name (case_1..case_20)")
 		netlist  = flag.String("netlist", "", "netlist file to serve")
 		listen   = flag.String("listen", "127.0.0.1:9000", "listen address")
+		proto    = flag.Int("proto", 2, "highest protocol version to speak (1 = v1-only line protocol, 2 = allow batch framing)")
 	)
 	flag.Parse()
 
@@ -58,9 +59,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "iogen: serving %d-in/%d-out black box on %s\n",
-		o.NumInputs(), o.NumOutputs(), ln.Addr())
-	if err := ioserve.NewServer(o).Serve(ln); err != nil {
+	srv := ioserve.NewServer(o)
+	switch *proto {
+	case 1:
+		srv.V1Only = true
+	case 2:
+	default:
+		fmt.Fprintf(os.Stderr, "iogen: unsupported -proto %d (want 1 or 2)\n", *proto)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "iogen: serving %d-in/%d-out black box on %s (proto <= %d)\n",
+		o.NumInputs(), o.NumOutputs(), ln.Addr(), *proto)
+	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
 		os.Exit(1)
 	}

@@ -30,6 +30,7 @@ func main() {
 		caseName  = flag.String("case", "", "built-in case name (case_1..case_20)")
 		netlist   = flag.String("netlist", "", "golden netlist file to treat as the black box")
 		remote    = flag.String("remote", "", "address of a remote iogen black box (host:port)")
+		proto     = flag.Int("proto", 2, "remote protocol to request (2 = batch framing with automatic v1 fallback, 1 = force v1)")
 		outPath   = flag.String("out", "", "output netlist path (default stdout)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeLimit = flag.Duration("time", 0, "learning time limit (0 = none)")
@@ -44,7 +45,7 @@ func main() {
 	)
 	flag.Parse()
 
-	o, closer, err := loadOracle(*caseName, *netlist, *remote)
+	o, closer, err := loadOracle(*caseName, *netlist, *remote, *proto)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "logicreg:", err)
 		os.Exit(1)
@@ -105,7 +106,7 @@ func main() {
 	}
 }
 
-func loadOracle(caseName, netlist, remote string) (oracle.Oracle, func(), error) {
+func loadOracle(caseName, netlist, remote string, proto int) (oracle.Oracle, func(), error) {
 	set := 0
 	for _, s := range []string{caseName, netlist, remote} {
 		if s != "" {
@@ -137,6 +138,19 @@ func loadOracle(caseName, netlist, remote string) (oracle.Oracle, func(), error)
 		cl, err := ioserve.Dial(remote)
 		if err != nil {
 			return nil, nil, err
+		}
+		switch proto {
+		case 1:
+			// Forced v1: every query is one line on the wire.
+		case 2:
+			if cl.TryUpgrade() {
+				fmt.Fprintln(os.Stderr, "logicreg: remote speaks protocol v2 (batch framing)")
+			} else {
+				fmt.Fprintln(os.Stderr, "logicreg: remote is v1-only, falling back to line protocol")
+			}
+		default:
+			cl.Close()
+			return nil, nil, fmt.Errorf("unsupported -proto %d (want 1 or 2)", proto)
 		}
 		return cl, func() { cl.Close() }, nil
 	}

@@ -287,6 +287,38 @@ func (c *Circuit) EvalWords(inputs []uint64) []uint64 {
 	return out
 }
 
+// Evaluator amortizes simulation scratch across repeated word evaluations of
+// the same circuit — the hot path of batched oracle queries, where EvalWords'
+// per-call value-array allocation dominates on small circuits. An Evaluator
+// is not safe for concurrent use; create one per goroutine. It tolerates the
+// circuit growing between calls.
+type Evaluator struct {
+	c    *Circuit
+	vals []uint64
+}
+
+// NewEvaluator returns an evaluator bound to c.
+func (c *Circuit) NewEvaluator() *Evaluator { return &Evaluator{c: c} }
+
+// EvalWordsInto evaluates 64 patterns in parallel, writing one word per PO
+// into out (which must have length NumPO()).
+func (e *Evaluator) EvalWordsInto(inputs, out []uint64) {
+	c := e.c
+	if len(inputs) != len(c.pis) {
+		panic(fmt.Sprintf("circuit: EvalWordsInto got %d inputs, want %d", len(inputs), len(c.pis)))
+	}
+	if len(out) != len(c.pos) {
+		panic(fmt.Sprintf("circuit: EvalWordsInto got %d output words, want %d", len(out), len(c.pos)))
+	}
+	if len(e.vals) < len(c.nodes) {
+		e.vals = make([]uint64, len(c.nodes))
+	}
+	c.evalWords(inputs, e.vals[:len(c.nodes)])
+	for i, s := range c.pos {
+		out[i] = e.vals[s]
+	}
+}
+
 // EvalSignalWords evaluates 64 patterns in parallel and returns the value
 // words of the requested internal signals (useful for probing logic during
 // construction, before POs exist).

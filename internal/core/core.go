@@ -81,10 +81,10 @@ type Options struct {
 	// <= 1 keeps the paper-faithful sequential path). The oracle must be
 	// safe for concurrent Eval calls.
 	Parallel int
-	// MemoizeQueries caches black-box responses by assignment. Worth it
-	// only when queries are expensive (e.g. a remote iogen): the cache
-	// forces scalar evaluation, giving up the 64-way word parallelism of
-	// local simulators.
+	// MemoizeQueries caches black-box responses by assignment in a bounded
+	// LRU (oracle.Memo). Worth it when queries are expensive (e.g. a
+	// remote iogen); batched queries stay batched — the cache forwards
+	// only its misses to the black box, as one batch.
 	MemoizeQueries bool
 	// Template configures template detection.
 	Template template.Config

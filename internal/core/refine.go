@@ -97,33 +97,48 @@ func refine(c *circuit.Circuit, counter *oracle.Counter, reports []OutputReport,
 	return relearned
 }
 
-// findMismatches simulates the learned circuit against the oracle and
-// returns up to maxWitnessesPerOutput mismatching assignments per output.
+// refineChunk is the number of self-check patterns per oracle batch; a
+// multiple of 64 so the per-block bias-ratio schedule is unaffected.
+const refineChunk = 1 << 13
+
+// findMismatches simulates the learned circuit against the oracle on whole
+// batches of fresh patterns and returns up to maxWitnessesPerOutput
+// mismatching assignments per output.
 func findMismatches(c *circuit.Circuit, counter *oracle.Counter, patterns int, rng *rand.Rand) map[int][][]bool {
 	n := c.NumPI()
 	out := make(map[int][][]bool)
 	ratios := sampling.DefaultRatios
-	for done := 0; done < patterns; done += 64 {
-		batch := min(patterns-done, 64)
-		words := sampling.RandomWords(rng, n, ratios[(done/64)%len(ratios)], nil)
-		golden := counter.EvalWords(words)
-		learned := c.EvalWords(words)
-		for po := range golden {
-			diff := golden[po] ^ learned[po]
-			if batch < 64 {
-				diff &= 1<<uint(batch) - 1
+	learnedOracle := oracle.FromCircuit(c)
+	for done := 0; done < patterns; done += refineChunk {
+		cnt := min(patterns-done, refineChunk)
+		w := oracle.Words(cnt)
+		lanes := make([]uint64, n*w)
+		for b := 0; b < w; b++ {
+			words := sampling.RandomWords(rng, n, ratios[(done/64+b)%len(ratios)], nil)
+			for j, x := range words {
+				lanes[j*w+b] = x
 			}
-			for diff != 0 {
-				k := bits.TrailingZeros64(diff)
-				diff &= diff - 1
-				if len(out[po]) >= maxWitnessesPerOutput {
-					break
+		}
+		golden := counter.EvalBatch(lanes, cnt)
+		learned := learnedOracle.EvalBatch(lanes, cnt)
+		for po := 0; po < c.NumPO(); po++ {
+			for b := 0; b < w; b++ {
+				diff := golden[po*w+b] ^ learned[po*w+b]
+				if batch := cnt - b*64; batch < 64 {
+					diff &= 1<<uint(batch) - 1
 				}
-				a := make([]bool, n)
-				for i := 0; i < n; i++ {
-					a[i] = words[i]>>uint(k)&1 == 1
+				for diff != 0 {
+					k := bits.TrailingZeros64(diff)
+					diff &= diff - 1
+					if len(out[po]) >= maxWitnessesPerOutput {
+						break
+					}
+					a := make([]bool, n)
+					for i := 0; i < n; i++ {
+						a[i] = lanes[i*w+b]>>uint(k)&1 == 1
+					}
+					out[po] = append(out[po], a)
 				}
-				out[po] = append(out[po], a)
 			}
 		}
 	}

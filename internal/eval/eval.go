@@ -10,9 +10,14 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"logicregression/internal/bitvec"
 	"logicregression/internal/oracle"
 	"logicregression/internal/sampling"
 )
+
+// evalChunk is the number of test patterns per oracle batch; a multiple of
+// 64 so chunking never splits a pattern block.
+const evalChunk = 1 << 13
 
 // Config controls measurement.
 type Config struct {
@@ -101,27 +106,42 @@ func Measure(golden, learned oracle.Oracle, cfg Config) Report {
 		}
 	}
 
+	goldenBatch := oracle.AsBatch(golden)
+	learnedBatch := oracle.AsBatch(learned)
 	for pool, bias := range pools {
 		count := perPool
 		if pool == 2 {
 			count = cfg.Patterns - 2*perPool // absorb rounding
 		}
-		for done := 0; done < count; done += 64 {
-			batch := min(count-done, 64)
-			words := sampling.RandomWords(rng, n, bias, nil)
-			g := oracle.EvalWords(golden, words)
-			l := oracle.EvalWords(learned, words)
-			var anyDiff uint64
-			for j := 0; j < nOut; j++ {
-				diff := g[j] ^ l[j]
-				anyDiff |= diff
-				outMatches[j] += batch - popcountMasked(diff, batch)
+		// Chunked batch evaluation: both oracles see whole pattern blocks
+		// (one EvalBatch per chunk instead of one EvalWords per 64), with
+		// the random draws in exactly the per-block reference order.
+		for done := 0; done < count; done += evalChunk {
+			cnt := min(count-done, evalChunk)
+			w := oracle.Words(cnt)
+			lanes := make([]bitvec.Word, n*w)
+			for b := 0; b < w; b++ {
+				words := sampling.RandomWords(rng, n, bias, nil)
+				for j, x := range words {
+					lanes[j*w+b] = x
+				}
 			}
-			hits := batch - popcountMasked(anyDiff, batch)
-			rep.Hits += hits
-			poolHits[pool] += hits
-			poolCounts[pool] += batch
-			rep.Patterns += batch
+			g := goldenBatch.EvalBatch(lanes, cnt)
+			l := learnedBatch.EvalBatch(lanes, cnt)
+			for b := 0; b < w; b++ {
+				batch := min(cnt-b*64, 64)
+				var anyDiff uint64
+				for j := 0; j < nOut; j++ {
+					diff := g[j*w+b] ^ l[j*w+b]
+					anyDiff |= diff
+					outMatches[j] += batch - popcountMasked(diff, batch)
+				}
+				hits := batch - popcountMasked(anyDiff, batch)
+				rep.Hits += hits
+				poolHits[pool] += hits
+				poolCounts[pool] += batch
+				rep.Patterns += batch
+			}
 		}
 	}
 	if rep.Patterns > 0 {

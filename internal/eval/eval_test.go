@@ -2,6 +2,7 @@ package eval
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"logicregression/internal/circuit"
@@ -153,5 +154,21 @@ func TestDirectedPatternsCountedInTotal(t *testing.T) {
 	}
 	if rep.Accuracy != 1 {
 		t.Fatalf("self-comparison accuracy = %f", rep.Accuracy)
+	}
+}
+
+// TestMeasureBatchMatchesScalar pins the batching-on/off equivalence of the
+// accuracy pool: chunked batch evaluation must consume the RNG in the scalar
+// order and yield an identical Report.
+func TestMeasureBatchMatchesScalar(t *testing.T) {
+	g := oracle.FromCircuit(twoOut())
+	l := oracle.FromCircuit(twoOut())
+	for _, patterns := range []int{100, 4096, 9000} {
+		cfg := Config{Patterns: patterns, Seed: 42}
+		fast := Measure(g, l, cfg)
+		slow := Measure(oracle.ScalarOnly(g), oracle.ScalarOnly(l), cfg)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("patterns=%d:\nbatch  %+v\nscalar %+v", patterns, fast, slow)
+		}
 	}
 }

@@ -16,6 +16,7 @@
 package fbdt
 
 import (
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -208,26 +209,36 @@ func Build(o oracle.Oracle, out int, cfg Config, rng *rand.Rand) Result {
 }
 
 // probeTruthRatio samples r assignments satisfying the cube and returns the
-// fraction of 1s at the output.
+// fraction of 1s at the output. All r patterns go to the oracle as one batch.
 func probeTruthRatio(o oracle.Oracle, out int, cube sop.Cube, r int, rng *rand.Rand) float64 {
-	ratios := sampling.DefaultRatios
-	ones, total := 0, 0
-	n := o.NumInputs()
-	for done := 0; done < r; done += 64 {
-		batch := min(r-done, 64)
-		words := sampling.RandomWords(rng, n, ratios[(done/64)%len(ratios)], cube)
-		got := oracle.EvalWords(o, words)[out]
-		for k := 0; k < batch; k++ {
-			if got>>uint(k)&1 == 1 {
-				ones++
-			}
-		}
-		total += batch
-	}
-	if total == 0 {
+	if r <= 0 {
 		return 0
 	}
+	ratios := sampling.DefaultRatios
+	n := o.NumInputs()
+	w := oracle.Words(r)
+	lanes := make([]uint64, n*w)
+	for b := 0; b < w; b++ {
+		words := sampling.RandomWords(rng, n, ratios[b%len(ratios)], cube)
+		for j, x := range words {
+			lanes[j*w+b] = x
+		}
+	}
+	got := oracle.EvalBatch(o, lanes, r)[out*w : (out+1)*w]
+	ones, total := 0, 0
+	for b := 0; b < w; b++ {
+		batch := min(r-b*64, 64)
+		ones += bits.OnesCount64(got[b] & maskLow(batch))
+		total += batch
+	}
 	return float64(ones) / float64(total)
+}
+
+func maskLow(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
 }
 
 // Exhaustive implements trick 1: it enumerates all 2^|sup| assignments over
@@ -246,23 +257,22 @@ func Exhaustive(o oracle.Oracle, out int, sup []int, rng *rand.Rand) Result {
 
 	ones := uint64(0)
 	table := make([]bool, total)
-	words := make([]uint64, n)
-	for base := uint64(0); base < total; base += 64 {
-		batch := min(total-base, 64)
-		for i := range words {
-			words[i] = 0
-		}
-		for pat := uint64(0); pat < batch; pat++ {
+	batchOracle := oracle.AsBatch(o)
+	for base := uint64(0); base < total; base += exhaustiveChunk {
+		count := min(total-base, exhaustiveChunk)
+		w := oracle.Words(int(count))
+		lanes := make([]uint64, n*w) // non-support inputs held at 0
+		for pat := uint64(0); pat < count; pat++ {
 			m := base + pat
 			for b, in := range sup {
 				if m>>uint(b)&1 == 1 {
-					words[in] |= 1 << uint(pat)
+					lanes[in*w+int(pat>>6)] |= 1 << (pat & 63)
 				}
 			}
 		}
-		got := oracle.EvalWords(o, words)[out]
-		for pat := uint64(0); pat < batch; pat++ {
-			if got>>uint(pat)&1 == 1 {
+		got := batchOracle.EvalBatch(lanes, int(count))[out*w : (out+1)*w]
+		for pat := uint64(0); pat < count; pat++ {
+			if got[pat>>6]>>(pat&63)&1 == 1 {
 				table[base+pat] = true
 				ones++
 			}
@@ -300,6 +310,11 @@ func Exhaustive(o oracle.Oracle, out int, sup []int, rng *rand.Rand) Result {
 // exhaustiveBDDBudget bounds the BDD used to collapse exhaustive truth
 // tables; overridable in tests to exercise the minterm fallback.
 var exhaustiveBDDBudget = 1 << 22
+
+// exhaustiveChunk is the number of patterns per oracle batch when
+// enumerating exhaustive truth tables, bounding the lane buffer to
+// |I| * chunk/64 words while still amortizing per-query overhead.
+const exhaustiveChunk = 1 << 14
 
 func mintermCube(sup []int, m uint64) sop.Cube {
 	lits := make([]sop.Literal, len(sup))

@@ -2,6 +2,7 @@ package fbdt
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -295,4 +296,23 @@ func TestExhaustiveMintermFallbackOnBudget(t *testing.T) {
 	res := Exhaustive(o, 0, []int{0, 1, 2}, rand.New(rand.NewSource(20)))
 	cover, negate := res.Choose()
 	checkLearned(t, o, 0, cover, negate)
+}
+
+// TestBuildBatchMatchesScalar pins the batching-on/off equivalence of the
+// tree builder: the batched truth-ratio probes and exhaustive sweep must
+// consume the RNG in the scalar order and yield an identical Result.
+func TestBuildBatchMatchesScalar(t *testing.T) {
+	o := majorityOracle()
+	cfg := Config{Candidates: []int{0, 1, 2}, R: 100, MaxDepth: 8}
+	fast := Build(o, 0, cfg, rand.New(rand.NewSource(3)))
+	slow := Build(oracle.ScalarOnly(o), 0, cfg, rand.New(rand.NewSource(3)))
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("Build diverges:\nbatch  %+v\nscalar %+v", fast, slow)
+	}
+
+	fastEx := Exhaustive(o, 0, []int{0, 1, 2}, rand.New(rand.NewSource(4)))
+	slowEx := Exhaustive(oracle.ScalarOnly(o), 0, []int{0, 1, 2}, rand.New(rand.NewSource(4)))
+	if !reflect.DeepEqual(fastEx, slowEx) {
+		t.Fatalf("Exhaustive diverges:\nbatch  %+v\nscalar %+v", fastEx, slowEx)
+	}
 }

@@ -1,33 +1,75 @@
-// Package ioserve exposes an Oracle over TCP with a line-oriented protocol,
-// modelling the 2019 contest's external iogen pattern generator: the learner
-// talks to a black box it does not host, one full assignment per query.
+// Package ioserve exposes an Oracle over TCP, modelling the 2019 contest's
+// external iogen pattern generator: the learner talks to a black box it does
+// not host. Two protocol versions share one port.
 //
-// Protocol (all lines '\n'-terminated ASCII):
+// Protocol grammar (all lines '\n'-terminated ASCII; <ibits> is one '0'/'1'
+// per input in input order, <obits> one per output):
 //
-//	server greets:  "inputs <name> <name> ...\n"
-//	                "outputs <name> ...\n"
-//	client query:   "<bits>"      — one '0'/'1' per input, in input order
-//	server reply:   "<bits>"      — one '0'/'1' per output
-//	client ends:    "quit"
+//	session  = greeting { exchange } [ "quit" ]
+//	greeting = "inputs"  { SP name } LF
+//	           "outputs" { SP name } LF
 //
-// Malformed queries get a line starting with "error:" and the connection
-// stays usable.
+//	v1 exchange (always available):
+//	  client: <ibits> LF
+//	  server: <obits> LF               — or "error:" message LF; the
+//	                                     connection stays usable either way
+//
+//	v2 upgrade (client-initiated, after the greeting):
+//	  client: "proto 2" LF
+//	  server: "ok 2" LF                — v2 accepted
+//	        | "error:" message LF      — v1-only server; client falls back
+//
+//	v2 batch exchange (only after a successful upgrade):
+//	  client: "batch" SP k LF, then k lines of <ibits>
+//	  server: "batch" SP k LF, then k lines of <obits>
+//	        | "error:" message LF      — whole batch rejected, connection
+//	                                     stays usable (all k query lines are
+//	                                     consumed first)
+//
+// A v1 client never sees a v2 token: the server only speaks v2 when spoken
+// to. A v2 client probing a v1 server gets an "error:" line back for the
+// "proto 2" query (it parses as a malformed bit string) and downgrades
+// automatically, so new clients interoperate with old servers and vice
+// versa. Batch frames amortize one network round trip over k queries; the
+// Client chunks large EvalBatch calls into frames of at most MaxFrame.
 package ioserve
 
 import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 
+	"logicregression/internal/bitvec"
 	"logicregression/internal/oracle"
 )
 
+// MaxFrame is the maximum number of queries per v2 batch frame, bounding
+// per-frame server memory. Larger EvalBatch calls are split transparently.
+const MaxFrame = 1 << 14
+
+// v1PipelineChunk is how many scalar queries the client keeps in flight when
+// falling back to the v1 line protocol: small enough that the replies to one
+// chunk always fit in kernel socket buffers (no write-write deadlock), large
+// enough to amortize round trips.
+const v1PipelineChunk = 64
+
 // Server serves a wrapped oracle to any number of concurrent clients.
+//
+// Connections do not serialize each other when the oracle can hand out
+// independent handles (oracle.Forker — circuit simulators, replay tables);
+// only oracles without that capability fall back to a shared lock, since
+// Oracle implementations need not be concurrency-safe.
 type Server struct {
 	inner oracle.Oracle
-	mu    sync.Mutex // serializes Eval: Oracle implementations need not be concurrency-safe
+	mu    sync.Mutex // serializes Eval for non-Forker oracles only
+
+	// V1Only disables the v2 protocol, emulating an old server: "proto"
+	// and "batch" commands get "error:" replies. Useful for testing client
+	// fallback and for byte-exact contest emulation.
+	V1Only bool
 }
 
 // NewServer wraps an oracle for serving.
@@ -47,36 +89,139 @@ func (s *Server) Serve(ln net.Listener) error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+
+	// Per-connection oracle handle: forkable oracles run lock-free in
+	// parallel across connections; stateful ones share the server lock.
+	o := s.inner
+	locked := true
+	if f, ok := o.(oracle.Forker); ok {
+		o = f.Fork()
+		locked = false
+	}
+	batch := oracle.AsBatch(o)
+	evalScalar := func(a []bool) []bool {
+		if locked {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+		}
+		return o.Eval(a)
+	}
+	evalBatch := func(lanes []bitvec.Word, n int) []bitvec.Word {
+		if locked {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+		}
+		return batch.EvalBatch(lanes, n)
+	}
+
 	w := bufio.NewWriter(conn)
-	fmt.Fprintf(w, "inputs %s\n", strings.Join(s.inner.InputNames(), " "))
-	fmt.Fprintf(w, "outputs %s\n", strings.Join(s.inner.OutputNames(), " "))
+	fmt.Fprintf(w, "inputs %s\n", strings.Join(o.InputNames(), " "))
+	fmt.Fprintf(w, "outputs %s\n", strings.Join(o.OutputNames(), " "))
 	if w.Flush() != nil {
 		return
 	}
-	nIn := s.inner.NumInputs()
+	nIn := o.NumInputs()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	reply := func(line string) bool {
+		if _, err := w.WriteString(line + "\n"); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "quit" {
+		switch {
+		case line == "quit":
 			return
-		}
-		assign, err := parseBits(line, nIn)
-		if err != nil {
-			fmt.Fprintf(w, "error: %v\n", err)
+
+		case strings.HasPrefix(line, "proto "):
+			if s.V1Only {
+				if !reply("error: unknown command") {
+					return
+				}
+				continue
+			}
+			// Accept any version >= 2 at level 2 (the highest we speak).
+			if v, err := strconv.Atoi(strings.TrimPrefix(line, "proto ")); err != nil || v < 2 {
+				if !reply(fmt.Sprintf("error: unsupported protocol %q", strings.TrimPrefix(line, "proto "))) {
+					return
+				}
+				continue
+			}
+			if !reply("ok 2") {
+				return
+			}
+
+		case strings.HasPrefix(line, "batch "):
+			if s.V1Only {
+				if !reply("error: unknown command") {
+					return
+				}
+				continue
+			}
+			k, err := strconv.Atoi(strings.TrimPrefix(line, "batch "))
+			if err != nil || k < 1 || k > MaxFrame {
+				// The declared frame length cannot be trusted, so the
+				// stream cannot be resynchronized; drop the connection.
+				reply(fmt.Sprintf("error: bad batch size %q", strings.TrimPrefix(line, "batch ")))
+				return
+			}
+			// Consume all k query lines before validating, keeping the
+			// connection usable after a malformed line.
+			lanes := make([]bitvec.Word, nIn*oracle.Words(k))
+			lw := oracle.Words(k)
+			var lineErr error
+			for q := 0; q < k; q++ {
+				if !sc.Scan() {
+					return
+				}
+				a, err := parseBits(strings.TrimSpace(sc.Text()), nIn)
+				if err != nil && lineErr == nil {
+					lineErr = fmt.Errorf("batch line %d: %v", q+1, err)
+				}
+				for i, bit := range a {
+					if bit {
+						lanes[i*lw+q>>6] |= 1 << (uint(q) & 63)
+					}
+				}
+			}
+			if lineErr != nil {
+				if !reply("error: " + lineErr.Error()) {
+					return
+				}
+				continue
+			}
+			out := evalBatch(lanes, k)
+			fmt.Fprintf(w, "batch %d\n", k)
+			nOut := o.NumOutputs()
+			buf := make([]byte, nOut)
+			for q := 0; q < k; q++ {
+				for j := 0; j < nOut; j++ {
+					if out[j*lw+q>>6]>>(uint(q)&63)&1 == 1 {
+						buf[j] = '1'
+					} else {
+						buf[j] = '0'
+					}
+				}
+				w.Write(buf)
+				w.WriteByte('\n')
+			}
 			if w.Flush() != nil {
 				return
 			}
-			continue
-		}
-		s.mu.Lock()
-		out := s.inner.Eval(assign)
-		s.mu.Unlock()
-		if _, err := w.WriteString(formatBits(out) + "\n"); err != nil {
-			return
-		}
-		if w.Flush() != nil {
-			return
+
+		default:
+			assign, err := parseBits(line, nIn)
+			if err != nil {
+				if !reply(fmt.Sprintf("error: %v", err)) {
+					return
+				}
+				continue
+			}
+			if !reply(formatBits(evalScalar(assign))) {
+				return
+			}
 		}
 	}
 }
@@ -110,28 +255,31 @@ func formatBits(bits []bool) string {
 	return string(buf)
 }
 
-// Client is an Oracle backed by a remote ioserve server. It is safe for
-// sequential use only (the learner is single-threaded per the contest
-// rules).
+// Client is an Oracle (and BatchOracle) backed by a remote ioserve server.
+// It is safe for sequential use only (the learner is single-threaded per the
+// contest rules).
 type Client struct {
 	conn     net.Conn
 	r        *bufio.Scanner
 	w        *bufio.Writer
 	ins      []string
 	outs     []string
+	proto    int   // negotiated protocol version: 1 until TryUpgrade succeeds
 	queryErr error // first transport error; subsequent Evals panic with it
 }
 
-// Dial connects to a server and reads the port-name greeting.
+// Dial connects to a server and reads the port-name greeting. The session
+// starts at protocol v1; call TryUpgrade to negotiate v2 batch framing.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		conn: conn,
-		r:    bufio.NewScanner(conn),
-		w:    bufio.NewWriter(conn),
+		conn:  conn,
+		r:     bufio.NewScanner(conn),
+		w:     bufio.NewWriter(conn),
+		proto: 1,
 	}
 	c.r.Buffer(make([]byte, 1<<16), 1<<20)
 	ins, err := c.readHeader("inputs")
@@ -148,6 +296,17 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialV2 dials and negotiates protocol v2, transparently falling back to v1
+// when the server predates batch framing.
+func DialV2(addr string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.TryUpgrade()
+	return c, nil
+}
+
 func (c *Client) readHeader(keyword string) ([]string, error) {
 	if !c.r.Scan() {
 		return nil, fmt.Errorf("ioserve: connection closed during greeting")
@@ -158,6 +317,39 @@ func (c *Client) readHeader(keyword string) ([]string, error) {
 	}
 	return fields[1:], nil
 }
+
+// TryUpgrade negotiates protocol v2. A v1-only server answers the probe with
+// an "error:" line (the probe parses as a malformed query there), which is
+// the downgrade signal — the session stays on v1 and remains fully usable.
+// Safe to call multiple times; returns whether the session speaks v2.
+func (c *Client) TryUpgrade() bool {
+	if c.proto >= 2 {
+		return true
+	}
+	if c.queryErr != nil {
+		panic(c.queryErr)
+	}
+	if _, err := c.w.WriteString("proto 2\n"); err != nil {
+		c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		c.fail(err)
+	}
+	line := c.readLine()
+	switch {
+	case line == "ok 2":
+		c.proto = 2
+		return true
+	case strings.HasPrefix(line, "error:"):
+		return false // old server: stay on v1
+	default:
+		c.fail(fmt.Errorf("ioserve: unexpected upgrade reply %q", line))
+		return false
+	}
+}
+
+// Proto returns the negotiated protocol version (1 or 2).
+func (c *Client) Proto() int { return c.proto }
 
 // Close ends the session politely.
 func (c *Client) Close() error {
@@ -170,6 +362,18 @@ func (c *Client) NumInputs() int        { return len(c.ins) }
 func (c *Client) NumOutputs() int       { return len(c.outs) }
 func (c *Client) InputNames() []string  { return append([]string(nil), c.ins...) }
 func (c *Client) OutputNames() []string { return append([]string(nil), c.outs...) }
+
+// readLine reads one reply line, failing the client on transport errors.
+func (c *Client) readLine() string {
+	if !c.r.Scan() {
+		err := c.r.Err()
+		if err == nil {
+			err = fmt.Errorf("ioserve: server closed connection")
+		}
+		c.fail(err)
+	}
+	return strings.TrimSpace(c.r.Text())
+}
 
 // Eval issues one query. Transport failures panic: the learner has no
 // recovery story for a dead black box, matching the contest setting where a
@@ -187,14 +391,12 @@ func (c *Client) Eval(assignment []bool) []bool {
 	if err := c.w.Flush(); err != nil {
 		c.fail(err)
 	}
-	if !c.r.Scan() {
-		err := c.r.Err()
-		if err == nil {
-			err = fmt.Errorf("ioserve: server closed connection")
-		}
-		c.fail(err)
-	}
-	line := strings.TrimSpace(c.r.Text())
+	return c.readReply()
+}
+
+// readReply parses one <obits> reply line.
+func (c *Client) readReply() []bool {
+	line := c.readLine()
 	if strings.HasPrefix(line, "error:") {
 		c.fail(fmt.Errorf("ioserve: server rejected query: %s", line))
 	}
@@ -205,9 +407,80 @@ func (c *Client) Eval(assignment []bool) []bool {
 	return out
 }
 
+// EvalBatch sends the whole batch across the wire. On a v2 session it uses
+// batch framing (one round trip per MaxFrame queries); on a v1 session it
+// pipelines scalar query lines in small chunks, which old servers answer
+// line-by-line. Either way the bits returned are identical to n scalar
+// Evals.
+func (c *Client) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	if c.queryErr != nil {
+		panic(c.queryErr)
+	}
+	nIn, nOut := len(c.ins), len(c.outs)
+	w := oracle.Words(n)
+	if want := nIn * w; len(patterns) != want {
+		panic(fmt.Sprintf("ioserve: EvalBatch got %d lane words, want %d", len(patterns), want))
+	}
+	out := make([]bitvec.Word, nOut*w)
+	frame := MaxFrame
+	if c.proto < 2 {
+		frame = v1PipelineChunk
+	}
+	qbuf := make([]byte, nIn)
+	for base := 0; base < n; base += frame {
+		k := min(n-base, frame)
+		// Write the frame: a batch header on v2, bare query lines on v1.
+		if c.proto >= 2 {
+			fmt.Fprintf(c.w, "batch %d\n", k)
+		}
+		for q := 0; q < k; q++ {
+			pat := base + q
+			for i := 0; i < nIn; i++ {
+				if patterns[i*w+pat>>6]>>(uint(pat)&63)&1 == 1 {
+					qbuf[i] = '1'
+				} else {
+					qbuf[i] = '0'
+				}
+			}
+			if _, err := c.w.Write(qbuf); err != nil {
+				c.fail(err)
+			}
+			if err := c.w.WriteByte('\n'); err != nil {
+				c.fail(err)
+			}
+		}
+		if err := c.w.Flush(); err != nil {
+			c.fail(err)
+		}
+		// Read the replies.
+		if c.proto >= 2 {
+			header := c.readLine()
+			if strings.HasPrefix(header, "error:") {
+				c.fail(fmt.Errorf("ioserve: server rejected batch: %s", header))
+			}
+			if header != fmt.Sprintf("batch %d", k) {
+				c.fail(fmt.Errorf("ioserve: bad batch reply header %q", header))
+			}
+		}
+		for q := 0; q < k; q++ {
+			res := c.readReply()
+			pat := base + q
+			for j, bit := range res {
+				if bit {
+					out[j*w+pat>>6] |= 1 << (uint(pat) & 63)
+				}
+			}
+		}
+	}
+	return out
+}
+
 func (c *Client) fail(err error) {
 	c.queryErr = err
 	panic(err)
 }
 
-var _ oracle.Oracle = (*Client)(nil)
+var (
+	_ oracle.Oracle      = (*Client)(nil)
+	_ oracle.BatchOracle = (*Client)(nil)
+)

@@ -1,0 +1,161 @@
+package oracle
+
+// The batched query engine: every stage of the learning pipeline (pattern
+// sampling, support identification, FBDT node splitting, accuracy evaluation,
+// refinement sweeps) issues its black-box queries in blocks, and this file
+// defines the block-level interface those stages speak.
+//
+// A batch of n patterns is bit-packed into lanes: with W = Words(n) words per
+// lane, input lane i occupies patterns[i*W : (i+1)*W], and bit k of a lane
+// (word k/64, bit position k%64) holds the value of that input in pattern k.
+// Results use the same layout per output. Tail bits (pattern indices >= n in
+// the last word) are don't-cares on both sides: implementations may evaluate
+// or ignore them, and callers must mask result tails before counting.
+//
+// The scalar Eval path remains the reference semantics: for any oracle o and
+// any batch, EvalBatch must be bitwise identical to evaluating each pattern
+// with o.Eval — the parity tests in batch_test.go enforce this across all 20
+// benchmark cases.
+
+import (
+	"fmt"
+
+	"logicregression/internal/bitvec"
+)
+
+// Words returns the number of 64-bit lane words needed to hold n patterns.
+func Words(n int) int { return (n + 63) / 64 }
+
+// BatchOracle is implemented by oracles that can answer many queries in one
+// call, bit-packed into lanes (see the package layout comment above). Batch
+// calls carry the same information as n scalar queries; the interface exists
+// purely to amortize per-query overhead (simulation scratch, cache probes,
+// network round trips).
+type BatchOracle interface {
+	Oracle
+	// EvalBatch evaluates n patterns packed into input lanes and returns
+	// NumOutputs() result lanes in the same layout.
+	EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word
+}
+
+// Forker is implemented by oracles that can hand out a handle usable from
+// another goroutine concurrently with the receiver and all other forks.
+// Stateless oracles (pure simulators, replay tables) return themselves;
+// stateful oracles that cannot fork simply do not implement the interface
+// and get externally serialized (see ioserve.Server).
+type Forker interface {
+	Oracle
+	Fork() Oracle
+}
+
+// AsBatch lifts any oracle to the batch interface. Oracles that already
+// implement BatchOracle are returned unchanged; everything else is wrapped in
+// an adapter that evaluates block-by-block through the 64-way word interface
+// when available and one scalar Eval per pattern otherwise. Either way the
+// results are bitwise identical to the scalar reference, so consumers can
+// speak batch unconditionally.
+func AsBatch(o Oracle) BatchOracle {
+	if b, ok := o.(BatchOracle); ok {
+		return b
+	}
+	return &liftedBatch{o}
+}
+
+// liftedBatch adapts a scalar (or word-level) oracle to BatchOracle.
+type liftedBatch struct {
+	Oracle
+}
+
+func (l *liftedBatch) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	return blockEvalBatch(l.Oracle, patterns, n)
+}
+
+// blockEvalBatch is the reference batch implementation: one EvalWords call
+// per 64-pattern block for word-capable oracles, and exactly one scalar Eval
+// per live pattern otherwise (a plain oracle never pays for the padded tail
+// of the last block — n batched queries cost n real queries).
+func blockEvalBatch(o Oracle, patterns []bitvec.Word, n int) []bitvec.Word {
+	nIn, nOut := o.NumInputs(), o.NumOutputs()
+	w := Words(n)
+	checkBatch(len(patterns), nIn, n)
+	out := make([]bitvec.Word, nOut*w)
+	if wo, ok := o.(WordOracle); ok {
+		in := make([]uint64, nIn)
+		for b := 0; b < w; b++ {
+			for i := 0; i < nIn; i++ {
+				in[i] = patterns[i*w+b]
+			}
+			res := wo.EvalWords(in)
+			for j := 0; j < nOut; j++ {
+				out[j*w+b] = res[j]
+			}
+		}
+		return out
+	}
+	assign := make([]bool, nIn)
+	for k := 0; k < n; k++ {
+		patternBools(patterns, w, nIn, k, assign)
+		scatterBools(out, w, k, o.Eval(assign))
+	}
+	return out
+}
+
+// checkBatch panics when the lane buffer does not match the declared batch
+// geometry; a mismatch is always a programming error.
+func checkBatch(got, nIn, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("oracle: EvalBatch of %d patterns", n))
+	}
+	if want := nIn * Words(n); got != want {
+		panic(fmt.Sprintf("oracle: EvalBatch got %d lane words, want %d (%d inputs x %d words)",
+			got, want, nIn, Words(n)))
+	}
+}
+
+// EvalBatch evaluates n lane-packed patterns on any oracle, using the batch
+// interface when available.
+func EvalBatch(o Oracle, patterns []bitvec.Word, n int) []bitvec.Word {
+	return AsBatch(o).EvalBatch(patterns, n)
+}
+
+// ScalarOnly restricts o to the plain Eval interface, hiding any word- or
+// batch-level fast path it implements. It is the reference wrapper for the
+// equivalence guarantee: for any oracle, learning against ScalarOnly(o) and
+// against o itself must produce byte-identical results at a fixed seed.
+func ScalarOnly(o Oracle) Oracle { return &scalarOnly{o} }
+
+type scalarOnly struct {
+	Oracle
+}
+
+// laneBit returns the value of input/output lane i in pattern k.
+func laneBit(lanes []bitvec.Word, w, i, k int) bool {
+	return lanes[i*w+k>>6]>>(uint(k)&63)&1 == 1
+}
+
+// setLaneBit sets pattern k of lane i to 1 (lanes start all-zero).
+func setLaneBit(lanes []bitvec.Word, w, i, k int) {
+	lanes[i*w+k>>6] |= 1 << (uint(k) & 63)
+}
+
+// patternBools extracts pattern k of a lane-packed batch into dst (one entry
+// per lane).
+func patternBools(lanes []bitvec.Word, w, nLanes, k int, dst []bool) {
+	for i := 0; i < nLanes; i++ {
+		dst[i] = laneBit(lanes, w, i, k)
+	}
+}
+
+// packPatterns packs per-pattern bool assignments into lane layout.
+func packPatterns(assigns [][]bool, nLanes int) []bitvec.Word {
+	w := Words(len(assigns))
+	lanes := make([]bitvec.Word, nLanes*w)
+	for k, a := range assigns {
+		for i, bit := range a {
+			if bit {
+				setLaneBit(lanes, w, i, k)
+			}
+		}
+	}
+	return lanes
+}

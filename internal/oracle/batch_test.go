@@ -1,0 +1,164 @@
+package oracle_test
+
+// Equivalence guarantee of the batched query engine: EvalBatch must be
+// bitwise identical to looping scalar Eval, for every oracle wrapper, on all
+// 20 benchmark cases. (External test package: internal/cases itself imports
+// internal/oracle.)
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"logicregression/internal/bitvec"
+	"logicregression/internal/cases"
+	"logicregression/internal/oracle"
+)
+
+// randomLanes draws n random patterns for an nIn-input oracle, seeded.
+func randomLanes(rng *rand.Rand, nIn, n int) []bitvec.Word {
+	w := oracle.Words(n)
+	lanes := make([]bitvec.Word, nIn*w)
+	for i := range lanes {
+		lanes[i] = rng.Uint64()
+	}
+	// Zero the tails so scalar reconstruction sees the same don't-cares.
+	if r := uint(n) & 63; r != 0 {
+		for i := 0; i < nIn; i++ {
+			lanes[i*w+w-1] &= 1<<r - 1
+		}
+	}
+	return lanes
+}
+
+// scalarReference evaluates every pattern with one Eval call each.
+func scalarReference(o oracle.Oracle, lanes []bitvec.Word, n int) []bitvec.Word {
+	w := oracle.Words(n)
+	out := make([]bitvec.Word, o.NumOutputs()*w)
+	a := make([]bool, o.NumInputs())
+	for k := 0; k < n; k++ {
+		for i := range a {
+			a[i] = lanes[i*w+k>>6]>>(uint(k)&63)&1 == 1
+		}
+		for j, bit := range o.Eval(a) {
+			if bit {
+				out[j*w+k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
+	}
+	return out
+}
+
+func assertLanesEqual(t *testing.T, name string, got, want []bitvec.Word, nOut, n int) {
+	t.Helper()
+	w := oracle.Words(n)
+	for j := 0; j < nOut; j++ {
+		for b := 0; b < w; b++ {
+			mask := ^bitvec.Word(0)
+			if last := n - b*64; last < 64 {
+				mask = 1<<uint(last) - 1
+			}
+			if got[j*w+b]&mask != want[j*w+b]&mask {
+				t.Fatalf("%s: output %d word %d: got %016x want %016x",
+					name, j, b, got[j*w+b]&mask, want[j*w+b]&mask)
+			}
+		}
+	}
+}
+
+// TestEvalBatchParityAllCases is the seeded fuzz/parity sweep over every
+// benchmark oracle: the circuit-backed batch path, the lifted scalar
+// adapter, and the Counter/Memo/Recorder wrappers must all agree with the
+// scalar reference bit for bit.
+func TestEvalBatchParityAllCases(t *testing.T) {
+	for _, cs := range cases.All() {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			t.Parallel()
+			o := cs.Oracle()
+			rng := rand.New(rand.NewSource(int64(len(cs.Name)) * 7919))
+			for _, n := range []int{1, 63, 64, 200} {
+				lanes := randomLanes(rng, o.NumInputs(), n)
+				want := scalarReference(o, lanes, n)
+
+				got := oracle.EvalBatch(o, lanes, n)
+				assertLanesEqual(t, "circuit-batch", got, want, o.NumOutputs(), n)
+
+				lifted := oracle.AsBatch(oracle.ScalarOnly(o)).EvalBatch(lanes, n)
+				assertLanesEqual(t, "lifted-scalar", lifted, want, o.NumOutputs(), n)
+
+				counted := oracle.NewCounter(o)
+				assertLanesEqual(t, "counter", counted.EvalBatch(lanes, n), want, o.NumOutputs(), n)
+				if counted.Queries() != int64(n) {
+					t.Fatalf("counter charged %d queries for a %d-batch", counted.Queries(), n)
+				}
+
+				memo := oracle.NewMemoCap(o, 4096)
+				assertLanesEqual(t, "memo-cold", memo.EvalBatch(lanes, n), want, o.NumOutputs(), n)
+				assertLanesEqual(t, "memo-warm", memo.EvalBatch(lanes, n), want, o.NumOutputs(), n)
+			}
+		})
+	}
+}
+
+// TestBatchTranscriptRecordReplay pushes a batch through a Recorder and
+// replays the transcript through the batch path: record->replay must be the
+// identity, and the replayed session must also answer scalar queries.
+func TestBatchTranscriptRecordReplay(t *testing.T) {
+	cs, err := cases.ByName("case_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cs.Oracle()
+	var buf bytes.Buffer
+	rec, err := oracle.NewRecorder(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 130
+	rng := rand.New(rand.NewSource(99))
+	lanes := randomLanes(rng, o.NumInputs(), n)
+	want := rec.EvalBatch(lanes, n)
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+
+	rp, err := oracle.NewReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rp.EvalBatch(lanes, n)
+	assertLanesEqual(t, "replay-batch", got, want, o.NumOutputs(), n)
+
+	// Scalar queries against the recorded batch must also resolve.
+	w := oracle.Words(n)
+	a := make([]bool, o.NumInputs())
+	for i := range a {
+		a[i] = lanes[i*w]&1 == 1 // pattern 0
+	}
+	for j, bit := range rp.Eval(a) {
+		if bit != (want[j*w]&1 == 1) {
+			t.Fatalf("scalar replay of recorded batch pattern diverges at output %d", j)
+		}
+	}
+}
+
+// TestProjectBatchLane checks that a projected oracle returns exactly the
+// selected output's lane.
+func TestProjectBatchLane(t *testing.T) {
+	cs, err := cases.ByName("case_7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cs.Oracle()
+	rng := rand.New(rand.NewSource(5))
+	const n = 90
+	lanes := randomLanes(rng, o.NumInputs(), n)
+	full := oracle.EvalBatch(o, lanes, n)
+	w := oracle.Words(n)
+	for out := 0; out < o.NumOutputs(); out += 3 {
+		p := oracle.NewProject(o, out)
+		got := p.EvalBatch(lanes, n)
+		assertLanesEqual(t, "project", got, full[out*w:(out+1)*w], 1, n)
+	}
+}

@@ -1,0 +1,239 @@
+package oracle
+
+// Memo: a sharded, bounded, memoizing oracle wrapper. The contest allows
+// repeated queries, but caching keeps the learner's query count honest when
+// the tree resamples overlapping regions — and with the batch interface the
+// cache no longer forces scalar evaluation: a batched query probes the cache
+// per pattern, gathers the misses, and forwards them to the inner oracle as
+// one (smaller) batch.
+//
+// The cache is a bounded LRU, sharded by key hash so concurrent learners
+// (Options.Parallel, multi-connection ioserve) do not serialize on one lock.
+// Small capacities collapse to a single shard so eviction order stays exact.
+
+import (
+	"container/list"
+	"sync"
+
+	"logicregression/internal/bitvec"
+)
+
+// DefaultMemoCapacity bounds NewMemo's cache. At ~100 bytes per cached
+// response this tops out near tens of MB, far below the unbounded growth the
+// old cache exhibited on long refinement runs.
+const DefaultMemoCapacity = 1 << 18
+
+// memoShardCount is the shard fan-out for large caches; must be a power of 2.
+const memoShardCount = 16
+
+// Memo wraps an oracle with a bounded LRU response cache keyed on the full
+// assignment. It is safe for concurrent use as long as the inner oracle is
+// (misses are evaluated outside the shard locks).
+type Memo struct {
+	inner    Oracle
+	shards   []memoShard
+	capacity int // per shard
+}
+
+type memoShard struct {
+	mu        sync.Mutex
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type memoEntry struct {
+	key string
+	out []bool
+}
+
+// NewMemo wraps o with a memoization cache of DefaultMemoCapacity entries.
+func NewMemo(o Oracle) *Memo { return NewMemoCap(o, DefaultMemoCapacity) }
+
+// NewMemoCap wraps o with a memoization cache bounded to capacity entries
+// (least-recently-used eviction). capacity < 1 panics.
+func NewMemoCap(o Oracle, capacity int) *Memo {
+	if capacity < 1 {
+		panic("oracle: memo capacity must be positive")
+	}
+	nShards := memoShardCount
+	if capacity < 8*memoShardCount {
+		// A tiny cache sharded 16 ways would evict almost arbitrarily;
+		// keep eviction order exact instead.
+		nShards = 1
+	}
+	m := &Memo{
+		inner:    o,
+		shards:   make([]memoShard, nShards),
+		capacity: (capacity + nShards - 1) / nShards,
+	}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[string]*list.Element)
+		m.shards[i].order = list.New()
+	}
+	return m
+}
+
+func (o *Memo) NumInputs() int        { return o.inner.NumInputs() }
+func (o *Memo) NumOutputs() int       { return o.inner.NumOutputs() }
+func (o *Memo) InputNames() []string  { return o.inner.InputNames() }
+func (o *Memo) OutputNames() []string { return o.inner.OutputNames() }
+
+// shard picks the shard for a key by FNV-1a hash.
+func (o *Memo) shard(key string) *memoShard {
+	if len(o.shards) == 1 {
+		return &o.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &o.shards[h&uint32(len(o.shards)-1)]
+}
+
+// get returns the cached response and bumps recency.
+func (s *memoShard) get(key string) ([]bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits++
+		return el.Value.(*memoEntry).out, true
+	}
+	s.misses++
+	return nil, false
+}
+
+// put inserts a response, evicting the least recently used entry beyond the
+// shard capacity. Concurrent racers inserting the same key are harmless: the
+// values are identical by determinism of the oracle.
+func (s *memoShard) put(key string, out []bool, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.order.PushFront(&memoEntry{key: key, out: out})
+	for s.order.Len() > capacity {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.entries, last.Value.(*memoEntry).key)
+		s.evictions++
+	}
+}
+
+func (o *Memo) Eval(a []bool) []bool {
+	key := assignKey(a)
+	s := o.shard(key)
+	if out, ok := s.get(key); ok {
+		return append([]bool(nil), out...)
+	}
+	v := o.inner.Eval(a)
+	s.put(key, append([]bool(nil), v...), o.capacity)
+	return v
+}
+
+// EvalWords answers a 64-pattern block through the batched cache path.
+func (o *Memo) EvalWords(in []uint64) []uint64 {
+	lanes := make([]bitvec.Word, len(in))
+	copy(lanes, in) // Words(64) == 1, so the lane layout is the input itself
+	return o.EvalBatch(lanes, 64)
+}
+
+// EvalBatch probes the cache per pattern, deduplicates the misses, forwards
+// them to the inner oracle as one batch, and fills the cache with the fresh
+// responses.
+func (o *Memo) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	nIn, nOut := o.inner.NumInputs(), o.inner.NumOutputs()
+	w := Words(n)
+	checkBatch(len(patterns), nIn, n)
+	out := make([]bitvec.Word, nOut*w)
+
+	assign := make([]bool, nIn)
+	keys := make([]string, n)
+	missOf := make(map[string]int) // key -> index into missAssign
+	ref := make([]int, n)          // per pattern: miss index, or -1 on hit
+	var missAssign [][]bool
+	for k := 0; k < n; k++ {
+		patternBools(patterns, w, nIn, k, assign)
+		key := assignKey(assign)
+		keys[k] = key
+		if m, dup := missOf[key]; dup {
+			ref[k] = m
+			continue
+		}
+		if v, ok := o.shard(key).get(key); ok {
+			ref[k] = -1
+			scatterBools(out, w, k, v)
+			continue
+		}
+		missOf[key] = len(missAssign)
+		ref[k] = len(missAssign)
+		missAssign = append(missAssign, append([]bool(nil), assign...))
+	}
+	if len(missAssign) == 0 {
+		return out
+	}
+
+	missLanes := packPatterns(missAssign, nIn)
+	missOut := AsBatch(o.inner).EvalBatch(missLanes, len(missAssign))
+	mw := Words(len(missAssign))
+	missVals := make([][]bool, len(missAssign))
+	for m := range missAssign {
+		v := make([]bool, nOut)
+		patternBools(missOut, mw, nOut, m, v)
+		missVals[m] = v
+		key := assignKey(missAssign[m])
+		o.shard(key).put(key, v, o.capacity)
+	}
+	for k := 0; k < n; k++ {
+		if ref[k] >= 0 {
+			scatterBools(out, w, k, missVals[ref[k]])
+		}
+	}
+	return out
+}
+
+// scatterBools writes one response into bit k of each output lane.
+func scatterBools(out []bitvec.Word, w, k int, v []bool) {
+	for j, bit := range v {
+		if bit {
+			setLaneBit(out, w, j, k)
+		}
+	}
+}
+
+// Hits returns the number of cache hits across all shards.
+func (o *Memo) Hits() int64 { return o.stat(func(s *memoShard) int64 { return s.hits }) }
+
+// Misses returns the number of cache misses across all shards.
+func (o *Memo) Misses() int64 { return o.stat(func(s *memoShard) int64 { return s.misses }) }
+
+// Evictions returns the number of entries evicted across all shards.
+func (o *Memo) Evictions() int64 { return o.stat(func(s *memoShard) int64 { return s.evictions }) }
+
+// Len returns the number of cached responses.
+func (o *Memo) Len() int {
+	total := int64(0)
+	for i := range o.shards {
+		s := &o.shards[i]
+		s.mu.Lock()
+		total += int64(s.order.Len())
+		s.mu.Unlock()
+	}
+	return int(total)
+}
+
+func (o *Memo) stat(f func(*memoShard) int64) int64 {
+	var total int64
+	for i := range o.shards {
+		s := &o.shards[i]
+		s.mu.Lock()
+		total += f(s)
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package oracle
+
+import (
+	"testing"
+
+	"logicregression/internal/bitvec"
+)
+
+// countingOracle counts real evaluations of a 3-input xor-ish function.
+type countingOracle struct {
+	calls int
+}
+
+func (o *countingOracle) NumInputs() int        { return 3 }
+func (o *countingOracle) NumOutputs() int       { return 1 }
+func (o *countingOracle) InputNames() []string  { return []string{"a", "b", "c"} }
+func (o *countingOracle) OutputNames() []string { return []string{"z"} }
+func (o *countingOracle) Eval(a []bool) []bool {
+	o.calls++
+	return []bool{a[0] != a[1] || a[2]}
+}
+
+func assign3(m int) []bool {
+	return []bool{m&1 == 1, m>>1&1 == 1, m>>2&1 == 1}
+}
+
+func TestMemoLRUEviction(t *testing.T) {
+	inner := &countingOracle{}
+	m := NewMemoCap(inner, 4)
+
+	// Fill the cache: 4 distinct queries, all misses.
+	for q := 0; q < 4; q++ {
+		m.Eval(assign3(q))
+	}
+	if inner.calls != 4 || m.Len() != 4 {
+		t.Fatalf("after fill: calls=%d len=%d", inner.calls, m.Len())
+	}
+
+	// Touch query 0 so query 1 becomes the LRU victim.
+	m.Eval(assign3(0))
+	if inner.calls != 4 {
+		t.Fatalf("hit went to the inner oracle (calls=%d)", inner.calls)
+	}
+
+	// Insert two fresh queries: evicts 1 then 2 (LRU order), never 0.
+	m.Eval(assign3(4))
+	m.Eval(assign3(5))
+	if m.Len() != 4 {
+		t.Fatalf("capacity not enforced: len=%d", m.Len())
+	}
+	if m.Evictions() != 2 {
+		t.Fatalf("Evictions = %d, want 2", m.Evictions())
+	}
+
+	callsBefore := inner.calls
+	m.Eval(assign3(0)) // still cached: recency protected it
+	if inner.calls != callsBefore {
+		t.Fatal("recently used entry was evicted")
+	}
+	m.Eval(assign3(1)) // evicted: must re-query
+	if inner.calls != callsBefore+1 {
+		t.Fatal("evicted entry still answered from cache")
+	}
+}
+
+func TestMemoBatchDeduplicatesMisses(t *testing.T) {
+	inner := &countingOracle{}
+	m := NewMemoCap(inner, 64)
+
+	// A 64-pattern batch over only 8 distinct assignments: the inner
+	// oracle sees each distinct assignment exactly once.
+	const n = 64
+	w := Words(n)
+	lanes := make([]bitvec.Word, 3*w)
+	for k := 0; k < n; k++ {
+		for i, bit := range assign3(k % 8) {
+			if bit {
+				setLaneBit(lanes, w, i, k)
+			}
+		}
+	}
+	out := m.EvalBatch(lanes, n)
+	if inner.calls != 8 {
+		t.Fatalf("inner calls = %d, want 8 (deduplicated misses)", inner.calls)
+	}
+	for k := 0; k < n; k++ {
+		want := inner.evalPure(assign3(k % 8))
+		if laneBit(out, w, 0, k) != want {
+			t.Fatalf("batch result wrong at pattern %d", k)
+		}
+	}
+
+	// A second identical batch is all hits.
+	m.EvalBatch(lanes, n)
+	if inner.calls != 8 {
+		t.Fatalf("warm batch re-queried the inner oracle (calls=%d)", inner.calls)
+	}
+	if m.Hits() == 0 {
+		t.Fatal("no hits recorded")
+	}
+}
+
+// evalPure computes the function without counting.
+func (o *countingOracle) evalPure(a []bool) bool { return a[0] != a[1] || a[2] }
+
+func TestMemoWordsGoThroughCache(t *testing.T) {
+	inner := &countingOracle{}
+	m := NewMemoCap(inner, 64)
+	in := []uint64{0xAAAA, 0xCCCC, 0xF0F0}
+	r1 := m.EvalWords(in)
+	r2 := m.EvalWords(in)
+	if r1[0] != r2[0] {
+		t.Fatalf("EvalWords unstable: %x vs %x", r1[0], r2[0])
+	}
+	if inner.calls != 8 { // 3 inputs -> at most 8 distinct assignments
+		t.Fatalf("inner calls = %d, want 8", inner.calls)
+	}
+	want := EvalWords(ScalarOnly(inner), in)
+	if r1[0] != want[0] {
+		t.Fatalf("EvalWords = %x, reference %x", r1[0], want[0])
+	}
+}
+
+func TestMemoCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewMemoCap(&countingOracle{}, 0)
+}

@@ -5,12 +5,23 @@
 // and returns full output assignments; nothing else about the hidden function
 // is observable. The circuit-backed implementation stands in for the contest
 // `iogen` executables (see DESIGN.md substitutions).
+//
+// Three query granularities coexist, all information-equivalent:
+//
+//	Eval       one assignment per call — the reference semantics
+//	EvalWords  64 assignments bit-packed into one word per input (WordOracle)
+//	EvalBatch  any number of assignments packed into lanes (BatchOracle,
+//	           see batch.go) — the engine the pipeline actually drives
+//
+// Every wrapper in this package (Counter, Memo, Project, Recorder, Replay)
+// preserves the batch capability of the oracle it wraps.
 package oracle
 
 import (
 	"fmt"
 	"sync"
 
+	"logicregression/internal/bitvec"
 	"logicregression/internal/circuit"
 )
 
@@ -55,6 +66,33 @@ func (o *CircuitOracle) Eval(a []bool) []bool  { return o.c.Eval(a) }
 func (o *CircuitOracle) EvalWords(in []uint64) []uint64 {
 	return o.c.EvalWords(in)
 }
+
+// EvalBatch rides the circuit's 64-way word-parallel evaluator, reusing the
+// simulation scratch across blocks (the per-block allocation is what makes
+// EvalWords-in-a-loop slower than a true batch on small circuits).
+func (o *CircuitOracle) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	nIn, nOut := o.c.NumPI(), o.c.NumPO()
+	w := Words(n)
+	checkBatch(len(patterns), nIn, n)
+	out := make([]bitvec.Word, nOut*w)
+	ev := o.c.NewEvaluator()
+	in := make([]uint64, nIn)
+	po := make([]uint64, nOut)
+	for b := 0; b < w; b++ {
+		for i := 0; i < nIn; i++ {
+			in[i] = patterns[i*w+b]
+		}
+		ev.EvalWordsInto(in, po)
+		for j := 0; j < nOut; j++ {
+			out[j*w+b] = po[j]
+		}
+	}
+	return out
+}
+
+// Fork returns the oracle itself: circuit evaluation keeps all mutable state
+// in per-call scratch, so one CircuitOracle may serve many goroutines.
+func (o *CircuitOracle) Fork() Oracle { return o }
 
 // FuncOracle adapts a Go function to the Oracle interface, for tests.
 type FuncOracle struct {
@@ -103,6 +141,15 @@ func (o *Counter) EvalWords(in []uint64) []uint64 {
 	return scalarEvalWords(o.inner, in)
 }
 
+// EvalBatch forwards to the inner oracle's batch interface, accounting
+// exactly n queries (unlike EvalWords, which always accounts a full block).
+func (o *Counter) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	o.mu.Lock()
+	o.queries += int64(n)
+	o.mu.Unlock()
+	return AsBatch(o.inner).EvalBatch(patterns, n)
+}
+
 // Queries returns the number of queries issued so far.
 func (o *Counter) Queries() int64 {
 	o.mu.Lock()
@@ -142,49 +189,6 @@ func EvalWords(o Oracle, in []uint64) []uint64 {
 		return w.EvalWords(in)
 	}
 	return scalarEvalWords(o, in)
-}
-
-// Memo wraps an oracle with a response cache keyed on the full assignment.
-// The contest allows repeated queries, but caching keeps the learner's query
-// count honest when the tree resamples overlapping regions.
-type Memo struct {
-	inner Oracle
-	mu    sync.Mutex
-	cache map[string][]bool
-	hits  int64
-}
-
-// NewMemo wraps o with a memoization cache.
-func NewMemo(o Oracle) *Memo {
-	return &Memo{inner: o, cache: make(map[string][]bool)}
-}
-
-func (o *Memo) NumInputs() int        { return o.inner.NumInputs() }
-func (o *Memo) NumOutputs() int       { return o.inner.NumOutputs() }
-func (o *Memo) InputNames() []string  { return o.inner.InputNames() }
-func (o *Memo) OutputNames() []string { return o.inner.OutputNames() }
-
-func (o *Memo) Eval(a []bool) []bool {
-	key := assignKey(a)
-	o.mu.Lock()
-	if v, ok := o.cache[key]; ok {
-		o.hits++
-		o.mu.Unlock()
-		return append([]bool(nil), v...)
-	}
-	o.mu.Unlock()
-	v := o.inner.Eval(a)
-	o.mu.Lock()
-	o.cache[key] = append([]bool(nil), v...)
-	o.mu.Unlock()
-	return v
-}
-
-// Hits returns the number of cache hits.
-func (o *Memo) Hits() int64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.hits
 }
 
 func assignKey(a []bool) string {
@@ -240,4 +244,12 @@ func (o *Project) Eval(a []bool) []bool {
 
 func (o *Project) EvalWords(in []uint64) []uint64 {
 	return []uint64{EvalWords(o.inner, in)[o.out]}
+}
+
+// EvalBatch evaluates the full batch on the inner oracle and returns the
+// selected output's lane.
+func (o *Project) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	w := Words(n)
+	res := AsBatch(o.inner).EvalBatch(patterns, n)
+	return res[o.out*w : (o.out+1)*w : (o.out+1)*w]
 }

@@ -19,6 +19,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"logicregression/internal/bitvec"
 )
 
 // Recorder wraps an oracle and appends every query to w. It is safe for
@@ -50,6 +52,30 @@ func (r *Recorder) Eval(a []bool) []bool {
 	out := r.inner.Eval(a)
 	r.mu.Lock()
 	fmt.Fprintf(r.w, "%s %s\n", bitString(a), bitString(out))
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// EvalBatch forwards the batch to the inner oracle and logs every pattern of
+// it, in pattern order, exactly as the equivalent scalar queries would have
+// been logged — so a transcript recorded through the batch path replays
+// interchangeably with one recorded scalar.
+func (r *Recorder) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	nIn, nOut := r.inner.NumInputs(), r.inner.NumOutputs()
+	w := Words(n)
+	checkBatch(len(patterns), nIn, n)
+	out := AsBatch(r.inner).EvalBatch(patterns, n)
+	in := make([]bool, nIn)
+	res := make([]bool, nOut)
+	r.mu.Lock()
+	for k := 0; k < n; k++ {
+		patternBools(patterns, w, nIn, k, in)
+		patternBools(out, w, nOut, k, res)
+		fmt.Fprintf(r.w, "%s %s\n", bitString(in), bitString(res))
+	}
 	if err := r.w.Flush(); err != nil && r.err == nil {
 		r.err = err
 	}
@@ -164,3 +190,27 @@ func (r *Replay) Eval(a []bool) []bool {
 	}
 	return append([]bool(nil), out...)
 }
+
+// EvalBatch answers every pattern of the batch from the transcript; any
+// pattern absent from the recording panics, exactly like scalar Eval.
+func (r *Replay) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
+	nIn, nOut := len(r.ins), len(r.outs)
+	w := Words(n)
+	checkBatch(len(patterns), nIn, n)
+	out := make([]bitvec.Word, nOut*w)
+	in := make([]bool, nIn)
+	for k := 0; k < n; k++ {
+		patternBools(patterns, w, nIn, k, in)
+		v := r.Eval(in)
+		for j, bit := range v {
+			if bit {
+				out[j*w+k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
+	}
+	return out
+}
+
+// Fork returns the replay itself: the response table is read-only after
+// construction, so one Replay may serve many goroutines.
+func (r *Replay) Fork() Oracle { return r }

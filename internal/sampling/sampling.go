@@ -123,24 +123,45 @@ func PatternSampling(o oracle.Oracle, out int, cube sop.Cube, cfg Config, rng *r
 	words := (cfg.R + 63) / 64
 	ones := 0
 	ratioIdx := 0
-	in := make([]uint64, n)
+	b := oracle.AsBatch(o)
+	lanes := make([]uint64, n*words)
 	for _, i := range res.Free {
+		// Draw all R patterns for this input up front, in exactly the order
+		// the per-block reference would (block-major, inputs within a
+		// block, one bias ratio per block), then issue the oracle queries
+		// as two whole batches: alpha_i (input i forced to 1) and
+		// alpha_not_i (forced to 0).
+		for w := 0; w < words; w++ {
+			p := ratios[ratioIdx%len(ratios)]
+			ratioIdx++
+			for j := 0; j < n; j++ {
+				lanes[j*words+w] = BiasedWord(rng, p)
+			}
+			for _, l := range cube {
+				if l.Neg {
+					lanes[l.Var*words+w] = 0
+				} else {
+					lanes[l.Var*words+w] = ^uint64(0)
+				}
+			}
+		}
+		lane := lanes[i*words : (i+1)*words]
+		for w := range lane {
+			lane[w] = ^uint64(0) // alpha_i: input forced to 1
+		}
+		out1 := b.EvalBatch(lanes, cfg.R)[out*words : (out+1)*words]
+		for w := range lane {
+			lane[w] = 0 // alpha_not_i: input forced to 0
+		}
+		out0 := b.EvalBatch(lanes, cfg.R)[out*words : (out+1)*words]
+
 		remaining := cfg.R
 		for w := 0; w < words; w++ {
 			batch := min(remaining, 64)
 			remaining -= batch
 			mask := maskLow(batch)
-			fillRandomWords(rng, in, ratios[ratioIdx%len(ratios)])
-			ratioIdx++
-			applyCubeWords(cube, in)
-
-			in[i] = ^uint64(0) // alpha_i: input forced to 1
-			out1 := oracle.EvalWords(o, in)[out]
-			in[i] = 0 // alpha_not_i: input forced to 0
-			out0 := oracle.EvalWords(o, in)[out]
-
-			res.D[i] += popcount((out1 ^ out0) & mask)
-			ones += popcount(out1&mask) + popcount(out0&mask)
+			res.D[i] += popcount((out1[w] ^ out0[w]) & mask)
+			ones += popcount(out1[w]&mask) + popcount(out0[w]&mask)
 			res.Samples += 2 * batch
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -227,5 +228,30 @@ func TestQuickSamplingBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPatternSamplingBatchMatchesScalar pins the batching-on/off equivalence:
+// the batched probe loop must consume the RNG in exactly the scalar order and
+// produce an identical Result.
+func TestPatternSamplingBatchMatchesScalar(t *testing.T) {
+	o := testOracle()
+	cube, _ := sop.NewCube(sop.Literal{Var: 2, Neg: false})
+	for _, tc := range []struct {
+		name string
+		cube sop.Cube
+		r    int
+	}{
+		{"free-64", nil, 64},
+		{"free-odd", nil, 257},
+		{"cube-100", cube, 100},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := PatternSampling(o, 0, tc.cube, Config{R: tc.r}, rand.New(rand.NewSource(7)))
+			slow := PatternSampling(oracle.ScalarOnly(o), 0, tc.cube, Config{R: tc.r}, rand.New(rand.NewSource(7)))
+			if !reflect.DeepEqual(fast, slow) {
+				t.Fatalf("batch %+v\nscalar %+v", fast, slow)
+			}
+		})
 	}
 }

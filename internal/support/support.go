@@ -7,6 +7,12 @@
 // assignment pair is in S; absence of a witness under r samples is taken as
 // irrelevance. The combined even/uneven sampling pool improves recall on
 // outputs that are only sensitive under skewed input distributions.
+//
+// The dependency counts come from PatternSampling, which issues its 2*r*|I|
+// probe queries through the oracle's batched interface (oracle.BatchOracle):
+// identification against a remote or cached black box costs a handful of
+// round trips per input instead of one per assignment. Witness deliberately
+// stays on the scalar path — it is the exact reference certificate.
 package support
 
 import (
