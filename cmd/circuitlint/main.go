@@ -1,0 +1,81 @@
+// Command circuitlint checks circuit netlists against the IR contract
+// (internal/check): hard invariants via Verify, the cross-implementation
+// equivalence probe via Equiv, and soft structural findings via Lint.
+//
+//	circuitlint design.net other.blif   # lint netlist files (format by extension)
+//	circuitlint -cases                  # lint the 20 built-in benchmark cases
+//
+// Hard violations and equivalence failures exit 1; soft findings are
+// listed and exit 0 unless -werror is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logicregression/internal/cases"
+	"logicregression/internal/check"
+	"logicregression/internal/circuit"
+)
+
+func main() {
+	var (
+		runCases = flag.Bool("cases", false, "lint the 20 built-in benchmark cases")
+		noEquiv  = flag.Bool("no-equiv", false, "skip the random-simulation equivalence probe")
+		simWords = flag.Int("sim-words", check.DefaultSimWords, "64-pattern words per output in the equivalence probe")
+		seed     = flag.Int64("seed", 1, "seed for the equivalence probe patterns")
+		werror   = flag.Bool("werror", false, "treat soft lint findings as errors")
+	)
+	flag.Parse()
+	if !*runCases && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "circuitlint: nothing to lint (give netlist files, or -cases)")
+		os.Exit(2)
+	}
+
+	hard, soft := 0, 0
+	lint := func(name string, c *circuit.Circuit) {
+		if err := check.Verify(c); err != nil {
+			fmt.Printf("%s: VIOLATION: %v\n", name, err)
+			hard++
+			return // lint and simulation assume a valid DAG
+		}
+		if !*noEquiv {
+			if err := check.Equiv(c, *seed, *simWords); err != nil {
+				fmt.Printf("%s: VIOLATION: %v\n", name, err)
+				hard++
+				return
+			}
+		}
+		for _, f := range check.Lint(c) {
+			fmt.Printf("%s: %s\n", name, f)
+			soft++
+		}
+	}
+
+	for _, path := range flag.Args() {
+		c, err := check.ReadCircuitFile(path)
+		if err != nil {
+			fmt.Printf("%s: VIOLATION: %v\n", path, err)
+			hard++
+			continue
+		}
+		lint(path, c)
+	}
+	if *runCases {
+		for _, cs := range cases.All() {
+			lint(cs.Name, cs.Circuit)
+		}
+	}
+
+	switch {
+	case hard > 0:
+		fmt.Fprintf(os.Stderr, "circuitlint: %d hard violation(s), %d finding(s)\n", hard, soft)
+		os.Exit(1)
+	case soft > 0 && *werror:
+		fmt.Fprintf(os.Stderr, "circuitlint: %d finding(s) with -werror\n", soft)
+		os.Exit(1)
+	case soft > 0:
+		fmt.Fprintf(os.Stderr, "circuitlint: %d finding(s)\n", soft)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"logicregression/internal/cases"
+	"logicregression/internal/check"
 	"logicregression/internal/circuit"
 	"logicregression/internal/core"
 	"logicregression/internal/eval"
@@ -52,6 +53,12 @@ func main() {
 	}
 	if closer != nil {
 		defer closer()
+	}
+	// One probe query up front: a remote generator with mismatched arity
+	// or a broken frame encoding should fail here, not hours into the run.
+	if err := oracle.Validate(o); err != nil {
+		fmt.Fprintln(os.Stderr, "logicreg: oracle failed validation:", err)
+		os.Exit(1)
 	}
 	if *record != "" {
 		f, err := os.Create(*record)
@@ -124,12 +131,7 @@ func loadOracle(caseName, netlist, remote string, proto int) (oracle.Oracle, fun
 		}
 		return c.Oracle(), nil, nil
 	case netlist != "":
-		f, err := os.Open(netlist)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		c, err := circuit.ParseNetlist(f)
+		c, err := check.ReadCircuitFile(netlist)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -14,11 +14,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"logicregression/internal/aig"
+	"logicregression/internal/check"
 	"logicregression/internal/circuit"
 	"logicregression/internal/opt"
 )
@@ -39,7 +38,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optimize: -in is required")
 		os.Exit(2)
 	}
-	c, err := readAny(*inPath)
+	c, err := check.ReadCircuitFile(*inPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optimize:", err)
 		os.Exit(2)
@@ -91,28 +90,6 @@ func main() {
 	if err := writeAs(w, optimized, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "optimize:", err)
 		os.Exit(2)
-	}
-}
-
-func readAny(path string) (*circuit.Circuit, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".blif":
-		return circuit.ParseBLIF(f)
-	case ".v", ".sv":
-		return circuit.ParseVerilog(f)
-	case ".aag":
-		g, err := aig.ParseAIGER(f)
-		if err != nil {
-			return nil, err
-		}
-		return g.ToCircuit(), nil
-	default:
-		return circuit.ParseNetlist(f)
 	}
 }
 

@@ -1,0 +1,19 @@
+// Command repolint runs the repo-specific static analyzers (scalareval,
+// seededrand, orphanerr — see internal/analysis/analyzers) over Go
+// packages. It speaks the vet unit-checker protocol, so the same binary
+// works standalone and as a vettool:
+//
+//	repolint ./...                      # standalone
+//	go vet -vettool=$(pwd)/repolint ./...   # under the go command (CI)
+//
+// Exit status is 2 when any analyzer reports a finding.
+package main
+
+import (
+	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/analyzers"
+)
+
+func main() {
+	analysis.Main(analyzers.All()...)
+}

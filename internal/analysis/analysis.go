@@ -1,0 +1,84 @@
+// Package analysis is a self-contained static-analysis framework for
+// repo-specific Go source rules — the second verification layer next to the
+// circuit-IR checks in internal/check.
+//
+// It mirrors the golang.org/x/tools/go/analysis API surface this repo needs
+// (Analyzer, Pass, Diagnostic) without the dependency: the container this
+// repo builds in has no module proxy access, so the framework is built on
+// the standard library only. Type information comes from compiler export
+// data located via `go list -export` (driver.go); the `go vet -vettool`
+// integration speaks the vet unit-checker protocol (unitchecker.go), so the
+// analyzers run under the stock go tool in CI:
+//
+//	go build -o repolint ./cmd/repolint
+//	go vet -vettool=$PWD/repolint ./...
+//
+// The analyzers themselves live in internal/analysis/analyzers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named source rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what it reports.
+	Doc string
+	// Run inspects a package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files holds the syntax trees to inspect. Test files are excluded:
+	// the rules encode production-code contracts (batching, seeding, error
+	// handling) that tests routinely and legitimately break.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's findings for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// newInfo allocates the types.Info maps every analyzer may consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,51 @@
+// Package analyzers holds the repo-specific source rules run by
+// cmd/repolint (standalone or as a `go vet -vettool`). Each analyzer
+// encodes a contract the learning pipeline depends on but the compiler
+// cannot see:
+//
+//	scalareval  batch-capable packages must not query the oracle one
+//	            pattern at a time inside loops (query-count and speed)
+//	seededrand  all randomness must flow from the plumbed seed
+//	            (byte-identical reruns at a fixed seed)
+//	orphanerr   netlist IO errors must not be dropped (a silently
+//	            truncated circuit corrupts everything downstream)
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logicregression/internal/analysis"
+)
+
+// All returns every repo analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{ScalarEval, SeededRand, OrphanErr}
+}
+
+// unparen strips any parentheses around e.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+
+	"logicregression/internal/analysis"
+)
+
+// The fixtures under testdata/src/<analyzer>/ follow the x/tools
+// analysistest convention: a `// want "substring"` comment on a line means
+// the analyzer must report on that line with a message containing the
+// substring, and every report must be announced by such a comment. bad.go
+// exercises each way the rule fires; fixed.go shows the repaired code and
+// must be silent.
+
+var exportsOnce = sync.OnceValues(func() (map[string]string, error) {
+	// Repo root relative to this package; the index covers the full
+	// dependency closure (internal packages, math/rand, io, ...) so the
+	// fixtures type-check against real export data.
+	return analysis.ExportIndex("../../..", "logicregression/...")
+})
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+func runFixture(t *testing.T, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("export index: %v", err)
+	}
+	paths, err := filepath.Glob(filepath.Join("testdata", "src", a.Name, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures for %s: %v", a.Name, err)
+	}
+
+	fset := token.NewFileSet()
+	type expectation struct {
+		substr  string
+		matched bool
+	}
+	want := make(map[string]*expectation) // "file:line" -> expectation
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				want[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = &expectation{substr: m[1]}
+			}
+		}
+	}
+
+	diags, err := analysis.CheckFiles(fset, files, importPath, exports, nil,
+		[]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("CheckFiles: %v", err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		exp, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+			continue
+		}
+		if !regexp.MustCompile(regexp.QuoteMeta(exp.substr)).MatchString(d.Message) {
+			t.Errorf("%s: got %q, want message containing %q", key, d.Message, exp.substr)
+		}
+		exp.matched = true
+	}
+	for key, exp := range want {
+		if !exp.matched {
+			t.Errorf("%s: expected diagnostic containing %q, got none", key, exp.substr)
+		}
+	}
+}
+
+func TestScalarEvalFixture(t *testing.T) {
+	// The import path must end in a batch-capable suffix or the analyzer
+	// skips the package entirely.
+	runFixture(t, ScalarEval, "logicregression/internal/support")
+}
+
+func TestScalarEvalSkipsOtherPackages(t *testing.T) {
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("export index: %v", err)
+	}
+	fset := token.NewFileSet()
+	path := filepath.Join("testdata", "src", "scalareval", "bad.go")
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.CheckFiles(fset, []*ast.File{f}, "example.com/notbatch",
+		exports, nil, []*analysis.Analyzer{ScalarEval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("scalareval fired in a non-batch-capable package: %v", diags)
+	}
+}
+
+func TestSeededRandFixture(t *testing.T) {
+	runFixture(t, SeededRand, "logicregression/fixture/seededrand")
+}
+
+func TestOrphanErrFixture(t *testing.T) {
+	runFixture(t, OrphanErr, "logicregression/fixture/orphanerr")
+}
+
+// TestRepoIsClean runs every analyzer over the whole module: the rules the
+// analyzers encode are supposed to hold in production code right now.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the full module")
+	}
+	units, err := analysis.LoadPackages("../../..", "logicregression/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, u := range units {
+		diags, err := u.Analyze(All())
+		if err != nil {
+			t.Fatalf("%s: %v", u.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"logicregression/internal/analysis"
+)
+
+// OrphanErr flags dropped errors from the netlist IO functions in
+// internal/circuit and internal/aig (Parse*/Write*). A parse error that is
+// ignored yields a truncated or empty circuit that every downstream stage
+// happily consumes; a swallowed write error ships a corrupt netlist to the
+// contest checker.
+var OrphanErr = &analysis.Analyzer{
+	Name: "orphanerr",
+	Doc: "flags Parse*/Write* netlist IO calls whose error result is discarded " +
+		"(expression statement, blank assignment, go/defer)",
+	Run: runOrphanErr,
+}
+
+// netlistIO reports whether fn is a Parse*/Write* function from the
+// circuit or AIG packages that returns an error.
+func netlistIO(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if !strings.HasSuffix(p, "internal/circuit") && !strings.HasSuffix(p, "internal/aig") {
+		return false
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Parse") && !strings.HasPrefix(name, "Write") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return errResultIndex(sig) >= 0
+}
+
+// errResultIndex returns the index of the error result in sig, or -1.
+func errResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return i
+		}
+	}
+	return -1
+}
+
+func runOrphanErr(pass *analysis.Pass) error {
+	report := func(call *ast.CallExpr, fn *types.Func, how string) {
+		pass.Reportf(call.Pos(), "error from %s.%s is %s; a bad netlist must not pass silently",
+			fn.Pkg().Name(), fn.Name(), how)
+	}
+	check := func(n ast.Node) *ast.CallExpr {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if !netlistIO(calleeFunc(pass.TypesInfo, call)) {
+			return nil
+		}
+		return call
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call := check(st.X); call != nil {
+					report(call, calleeFunc(pass.TypesInfo, call), "discarded")
+				}
+			case *ast.GoStmt:
+				if call := check(st.Call); call != nil {
+					report(call, calleeFunc(pass.TypesInfo, call), "unobservable in a go statement")
+				}
+			case *ast.DeferStmt:
+				if call := check(st.Call); call != nil {
+					report(call, calleeFunc(pass.TypesInfo, call), "unobservable in a deferred call")
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call := check(st.Rhs[0])
+				if call == nil {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				sig := fn.Type().(*types.Signature)
+				idx := errResultIndex(sig)
+				if idx >= len(st.Lhs) {
+					return true
+				}
+				if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					report(call, fn, "assigned to the blank identifier")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

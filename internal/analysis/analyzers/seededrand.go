@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logicregression/internal/analysis"
+)
+
+// SeededRand flags uses of math/rand's process-global source. The pipeline
+// guarantees byte-identical outputs at a fixed -seed; randomness that does
+// not flow from a *rand.Rand constructed with the plumbed seed silently
+// breaks that guarantee (and the global source is mutated by any package,
+// so draws are not even stable across refactors).
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "flags math/rand package-level functions (rand.Intn, rand.Shuffle, ...), " +
+		"which draw from the process-global source; construct a *rand.Rand from " +
+		"the plumbed seed instead",
+	Run: runSeededRand,
+}
+
+// sourceConstructors are the math/rand package-level names that build an
+// explicit generator rather than drawing from the global one.
+var sourceConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeededRand(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if sourceConstructors[sel.Sel.Name] {
+				return true
+			}
+			// Any other selector on the package — a call like rand.Intn or
+			// a reference passed as a value — reaches the global source.
+			if obj, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFn && obj.Type() != nil {
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the process-global source; use a *rand.Rand built from the plumbed seed",
+					id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

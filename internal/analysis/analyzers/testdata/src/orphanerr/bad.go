@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"io"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/circuit"
+)
+
+// BadLoad drops parse and write errors in every way the rule catches.
+func BadLoad(r io.Reader, w io.Writer, c *circuit.Circuit) *circuit.Circuit {
+	got, _ := circuit.ParseNetlist(r)           // want "error from circuit.ParseNetlist is assigned to the blank identifier"
+	circuit.WriteBLIF(w, c, "top")              // want "error from circuit.WriteBLIF is discarded"
+	defer aig.WriteAIGER(w, aig.FromCircuit(c)) // want "error from aig.WriteAIGER is unobservable in a deferred call"
+	go circuit.WriteVerilog(w, c, "top")        // want "error from circuit.WriteVerilog is unobservable in a go statement"
+	return got
+}

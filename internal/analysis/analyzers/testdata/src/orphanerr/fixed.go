@@ -1,0 +1,19 @@
+package fixture
+
+import (
+	"io"
+
+	"logicregression/internal/circuit"
+)
+
+// GoodLoad propagates every IO error.
+func GoodLoad(r io.Reader, w io.Writer, c *circuit.Circuit) (*circuit.Circuit, error) {
+	got, err := circuit.ParseNetlist(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := circuit.WriteBLIF(w, c, "top"); err != nil {
+		return nil, err
+	}
+	return got, nil
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import "math/rand"
+
+// BadShuffle draws from the process-global source.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "draws from the process-global source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	_ = rand.Intn(len(xs)) // want "draws from the process-global source"
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "math/rand"
+
+// GoodShuffle draws from a generator built from the plumbed seed.
+func GoodShuffle(seed int64, xs []int) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) {
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	_ = r.Intn(len(xs))
+}

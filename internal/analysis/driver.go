@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The standalone driver: locate packages and compiler export data with
+// `go list -export -deps -json`, type-check each target package from source
+// against that export data, and run the analyzers. This is what
+// `repolint ./...` does when invoked directly (the vet-tool protocol in
+// unitchecker.go is the other entry point, where the go command supplies
+// the same information through a vet.cfg file).
+
+// A Unit is one package ready for analysis.
+type Unit struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, production files only
+
+	exports map[string]string // import path -> export data file, shared
+}
+
+// listedPackage is the subset of `go list -json` output the driver reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages runs `go list` in dir and returns one Unit per matched
+// package, plus the shared export-data index covering every dependency.
+func LoadPackages(dir string, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var units []*Unit
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		u := &Unit{ImportPath: p.ImportPath, Dir: p.Dir, exports: exports}
+		for _, f := range p.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(p.Dir, f)
+			}
+			u.GoFiles = append(u.GoFiles, f)
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// ExportIndex returns the import-path -> export-data map covering the
+// pattern's full dependency closure, for callers that type-check sources
+// outside any listed package (the analyzer test fixtures).
+func ExportIndex(dir string, patterns ...string) (map[string]string, error) {
+	units, err := LoadPackages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	return units[0].exports, nil
+}
+
+// exportImporter resolves imports from compiler export data files.
+func exportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Analyze type-checks the unit and runs every analyzer over its production
+// files, returning diagnostics sorted by position.
+func (u *Unit) Analyze(analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range u.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return CheckFiles(fset, files, u.ImportPath, u.exports, nil, analyzers)
+}
+
+// CheckFiles type-checks an already-parsed file set as one package (against
+// the given export-data index, with importMap translating source import
+// paths when the vet config supplies one) and runs the analyzers. Files
+// named *_test.go are type-checked but not analyzed.
+func CheckFiles(fset *token.FileSet, files []*ast.File, importPath string,
+	exports, importMap map[string]string, analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	conf := types.Config{
+		Importer: exportImporter(fset, exports, importMap),
+		Error:    func(error) {}, // collect the first error from Check itself
+	}
+	info := newInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+
+	var analyzed []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		analyzed = append(analyzed, f)
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     analyzed,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, importPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

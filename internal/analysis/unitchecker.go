@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The vet unit-checker protocol, reverse-engineered from what the go
+// command actually sends (and pinned by TestVettoolProtocol):
+//
+//	tool -flags          print a JSON array of the tool's flags
+//	tool -V=full         print "name version ..." for build caching
+//	tool <unit>.cfg      analyze one package unit described by the config
+//
+// For every unit the go command expects the tool to write the facts file
+// named by VetxOutput; units with VetxOnly=true exist only to produce facts
+// for dependents. Our analyzers are fact-free, so those units get an empty
+// facts file and no analysis. Diagnostics go to stderr as file:line:col
+// lines and make the tool exit 2, which `go vet` relays as failure.
+
+// vetConfig is the subset of the vet.cfg JSON the tool consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: it dispatches between the
+// vet protocol (when invoked by `go vet -vettool=...`) and the standalone
+// driver (`repolint [packages...]`, defaulting to ./...).
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(a, "-V"):
+			// Tool identity for the go command's action cache. Changing
+			// VERSION invalidates cached vet results after analyzer edits.
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), version)
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+// version participates in the go command's content hash for cached vet
+// results; bump it when analyzer behaviour changes.
+const version = "repolint-1.0"
+
+func runUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist for the go command's bookkeeping even
+	// though these analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Packages made only of test files (external _test packages) have
+	// nothing to analyze; skip the typecheck entirely.
+	production := 0
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			production++
+		}
+	}
+	if production == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	diags, err := CheckFiles(fset, files, cfg.ImportPath, cfg.PackageFile, cfg.ImportMap, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func runStandalone(patterns []string, analyzers []*Analyzer) int {
+	units, err := LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, u := range units {
+		diags, err := u.Analyze(analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			exit = 2
+		}
+	}
+	return exit
+}

@@ -1,0 +1,59 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/circuit"
+)
+
+// The debug gate: when enabled, every optimizer pass and the learner assert
+// Verify + Equiv on their outputs; when disabled those call sites cost one
+// atomic load. Enable with LOGICREG_CHECK=1 (or SetEnabled from tests).
+
+var debugEnabled atomic.Bool
+
+func init() {
+	switch os.Getenv("LOGICREG_CHECK") {
+	case "1", "true", "on":
+		debugEnabled.Store(true)
+	}
+}
+
+// Enabled reports whether debug-mode IR assertions are on.
+func Enabled() bool { return debugEnabled.Load() }
+
+// SetEnabled turns debug-mode IR assertions on or off, overriding the
+// LOGICREG_CHECK environment variable. It returns the previous value so
+// tests can restore it.
+func SetEnabled(v bool) bool { return debugEnabled.Swap(v) }
+
+// Assert panics unless got passes Verify and is simulation-equivalent to
+// ref. It is a no-op when debug checks are disabled; call it after any
+// transformation that must preserve function, naming the stage for the
+// panic message.
+func Assert(stage string, ref, got *circuit.Circuit) {
+	if !Enabled() {
+		return
+	}
+	if err := Verify(got); err != nil {
+		panic(fmt.Sprintf("check: after %s: %v", stage, err))
+	}
+	if err := EquivCircuits(ref, got, 1, 0); err != nil {
+		panic(fmt.Sprintf("check: after %s: %v", stage, err))
+	}
+}
+
+// AssertAIG is Assert for stages that produce an AIG: it verifies the graph
+// and checks its circuit projection against ref. No-op when disabled.
+func AssertAIG(stage string, ref *circuit.Circuit, g *aig.AIG) {
+	if !Enabled() {
+		return
+	}
+	if err := VerifyAIG(g); err != nil {
+		panic(fmt.Sprintf("check: after %s: %v", stage, err))
+	}
+	Assert(stage, ref, g.ToCircuit())
+}

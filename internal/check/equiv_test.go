@@ -1,0 +1,81 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"logicregression/internal/cases"
+	"logicregression/internal/circuit"
+)
+
+func TestEquivAcceptsCases(t *testing.T) {
+	for _, cs := range cases.All() {
+		if err := Equiv(cs.Circuit, 1, 4); err != nil {
+			t.Errorf("%s: %v", cs.Name, err)
+		}
+	}
+}
+
+func TestEquivCircuitsExhaustive(t *testing.T) {
+	mk := func(xor bool) *circuit.Circuit {
+		c := circuit.New()
+		a := c.AddPI("a")
+		b := c.AddPI("b")
+		s := c.AddPI("s")
+		var z circuit.Signal
+		if xor {
+			z = c.Xor(a, b)
+		} else {
+			z = c.Or(a, b)
+		}
+		c.AddPO("z", c.And(z, s))
+		return c
+	}
+	if err := EquivCircuits(mk(true), mk(true), 1, 0); err != nil {
+		t.Fatalf("identical circuits reported non-equivalent: %v", err)
+	}
+	err := EquivCircuits(mk(true), mk(false), 1, 0)
+	if err == nil {
+		t.Fatal("XOR vs OR not caught by exhaustive check")
+	}
+	if !strings.Contains(err.Error(), "PO 0") {
+		t.Fatalf("error %q does not name the differing PO", err)
+	}
+}
+
+func TestEquivCircuitsRandomWide(t *testing.T) {
+	// 40 inputs forces the random-word path.
+	mk := func(flip bool) *circuit.Circuit {
+		c := circuit.New()
+		sigs := make([]circuit.Signal, 40)
+		for i := range sigs {
+			sigs[i] = c.AddPI("x" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		}
+		acc := sigs[0]
+		for _, s := range sigs[1:] {
+			acc = c.Xor(acc, s)
+		}
+		if flip {
+			acc = c.NotGate(acc)
+		}
+		c.AddPO("parity", acc)
+		return c
+	}
+	if err := EquivCircuits(mk(false), mk(false), 7, 8); err != nil {
+		t.Fatalf("identical wide circuits reported non-equivalent: %v", err)
+	}
+	if err := EquivCircuits(mk(false), mk(true), 7, 8); err == nil {
+		t.Fatal("complemented parity not caught by random simulation")
+	}
+}
+
+func TestEquivCircuitsArityMismatch(t *testing.T) {
+	a := circuit.New()
+	a.AddPO("z", a.AddPI("a"))
+	b := circuit.New()
+	b.AddPI("a")
+	b.AddPO("z", b.AddPI("b"))
+	if err := EquivCircuits(a, b, 1, 0); err == nil {
+		t.Fatal("arity mismatch not reported")
+	}
+}

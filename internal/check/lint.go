@@ -1,0 +1,122 @@
+package check
+
+import (
+	"fmt"
+
+	"logicregression/internal/circuit"
+)
+
+// A Finding is a soft diagnostic from Lint: the circuit is valid but carries
+// structure that a clean synthesis flow would not emit. Findings are
+// addressed by node id; there are no file positions at the IR level.
+type Finding struct {
+	// Code is a stable machine-readable tag: "dead-gate", "const-fanin",
+	// "same-fanin", "compl-fanin", "double-not", "dup-gate", "buf-chain".
+	Code string
+	// Node is the offending node id.
+	Node int
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("node %d: %s: %s", f.Node, f.Code, f.Msg)
+}
+
+// Lint reports soft findings on a circuit:
+//
+//   - dead-gate: a gate outside the transitive fanin of every PO (dangling
+//     logic does not exist in the contest netlist format and inflates the
+//     node arrays for nothing);
+//   - const-fanin: a gate fed by a constant node, which constant folding
+//     would eliminate;
+//   - same-fanin / compl-fanin: a 2-input gate whose fanins are identical
+//     or structural complements (AND(x,x)=x, AND(x,~x)=0, ...);
+//   - double-not: NOT of NOT, free but noisy;
+//   - buf-chain: BUF of BUF or BUF of NOT, same;
+//   - dup-gate: a reachable 2-input gate structurally identical (up to
+//     commutation) to an earlier reachable gate, which structural hashing
+//     would merge.
+//
+// Only reachable nodes are checked for the local patterns; unreachable ones
+// get the single dead-gate finding instead of a cascade.
+func Lint(c *circuit.Circuit) []Finding {
+	var out []Finding
+	reach := reachable(c)
+	type key struct {
+		t      circuit.GateType
+		lo, hi circuit.Signal
+	}
+	seen := make(map[key]int)
+	isConst := func(s circuit.Signal) bool {
+		t := c.Node(s).Type
+		return t == circuit.Const0 || t == circuit.Const1
+	}
+	for id := 0; id < c.NumNodes(); id++ {
+		nd := c.Node(id)
+		if nd.Type == circuit.PI || nd.Type == circuit.Const0 || nd.Type == circuit.Const1 {
+			continue
+		}
+		if !reach[id] {
+			out = append(out, Finding{Code: "dead-gate", Node: id,
+				Msg: fmt.Sprintf("%v gate feeds no primary output", nd.Type)})
+			continue
+		}
+		switch {
+		case nd.Type == circuit.Not:
+			if c.Node(nd.In0).Type == circuit.Not {
+				out = append(out, Finding{Code: "double-not", Node: id,
+					Msg: fmt.Sprintf("NOT of NOT node %d", nd.In0)})
+			}
+			if isConst(nd.In0) {
+				out = append(out, Finding{Code: "const-fanin", Node: id,
+					Msg: fmt.Sprintf("NOT of constant node %d", nd.In0)})
+			}
+		case nd.Type == circuit.Buf:
+			if t := c.Node(nd.In0).Type; t == circuit.Buf || t == circuit.Not {
+				out = append(out, Finding{Code: "buf-chain", Node: id,
+					Msg: fmt.Sprintf("BUF of %v node %d", t, nd.In0)})
+			}
+			if isConst(nd.In0) {
+				out = append(out, Finding{Code: "const-fanin", Node: id,
+					Msg: fmt.Sprintf("BUF of constant node %d", nd.In0)})
+			}
+		default: // 2-input gates
+			if isConst(nd.In0) || isConst(nd.In1) {
+				out = append(out, Finding{Code: "const-fanin", Node: id,
+					Msg: fmt.Sprintf("%v gate has a constant fanin", nd.Type)})
+			}
+			switch {
+			case nd.In0 == nd.In1:
+				out = append(out, Finding{Code: "same-fanin", Node: id,
+					Msg: fmt.Sprintf("%v gate with identical fanins %d", nd.Type, nd.In0)})
+			case complements(c, nd.In0, nd.In1):
+				out = append(out, Finding{Code: "compl-fanin", Node: id,
+					Msg: fmt.Sprintf("%v gate with complementary fanins %d, %d", nd.Type, nd.In0, nd.In1)})
+			}
+			lo, hi := nd.In0, nd.In1
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			k := key{t: nd.Type, lo: lo, hi: hi}
+			if first, dup := seen[k]; dup {
+				out = append(out, Finding{Code: "dup-gate", Node: id,
+					Msg: fmt.Sprintf("structurally identical to %v node %d", nd.Type, first)})
+			} else {
+				seen[k] = id
+			}
+		}
+	}
+	return out
+}
+
+// complements reports whether one of a, b is NOT of the other.
+func complements(c *circuit.Circuit, a, b circuit.Signal) bool {
+	if n := c.Node(b); n.Type == circuit.Not && n.In0 == a {
+		return true
+	}
+	if n := c.Node(a); n.Type == circuit.Not && n.In0 == b {
+		return true
+	}
+	return false
+}

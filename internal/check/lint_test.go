@@ -1,0 +1,59 @@
+package check
+
+import (
+	"testing"
+
+	"logicregression/internal/circuit"
+)
+
+func codes(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Code]++
+	}
+	return m
+}
+
+func TestLintFindsEachPattern(t *testing.T) {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+
+	dead := c.And(a, b) // never reaches a PO
+	_ = dead
+
+	constIn := c.Or(a, c.Const(true))
+	same := c.And(a, a)
+	na := c.NotGate(a)
+	compl := c.And(a, na)
+	dbl := c.NotGate(c.NotGate(b))
+	dup1 := c.Xor(a, b)
+	dup2 := c.Xor(b, a) // commuted duplicate
+	bufChain := c.BufGate(c.BufGate(a))
+
+	z := c.Or(c.Or(constIn, same), c.Or(compl, dbl))
+	z = c.Or(z, c.Or(dup1, dup2))
+	z = c.Or(z, bufChain)
+	c.AddPO("z", z)
+
+	if err := Verify(c); err != nil {
+		t.Fatalf("lint fixture must still be valid: %v", err)
+	}
+	got := codes(Lint(c))
+	for _, want := range []string{"dead-gate", "const-fanin", "same-fanin", "compl-fanin", "double-not", "dup-gate", "buf-chain"} {
+		if got[want] == 0 {
+			t.Errorf("Lint missed %q (got %v)", want, got)
+		}
+	}
+}
+
+func TestLintCleanCircuit(t *testing.T) {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	s := c.AddPI("s")
+	c.AddPO("z", c.Xor(c.And(a, b), c.Nor(b, s)))
+	if fs := Lint(c); len(fs) != 0 {
+		t.Fatalf("Lint reported findings on a clean circuit: %v", fs)
+	}
+}

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/circuit"
+)
+
+// ReadCircuit parses a circuit in the named format ("netlist", "blif",
+// "verilog", "aiger") and verifies the hard IR invariants before returning
+// it — the ingest gate that keeps a malformed or corrupted file from
+// flowing into the pipeline as a silently broken network. AIGER input is
+// additionally verified at the AIG level before conversion.
+func ReadCircuit(r io.Reader, format string) (*circuit.Circuit, error) {
+	var (
+		c   *circuit.Circuit
+		err error
+	)
+	switch format {
+	case "netlist":
+		c, err = circuit.ParseNetlist(r)
+	case "blif":
+		c, err = circuit.ParseBLIF(r)
+	case "verilog":
+		c, err = circuit.ParseVerilog(r)
+	case "aiger":
+		var g *aig.AIG
+		g, err = aig.ParseAIGER(r)
+		if err == nil {
+			if err = VerifyAIG(g); err != nil {
+				return nil, fmt.Errorf("%s parse produced invalid IR: %w", format, err)
+			}
+			c = g.ToCircuit()
+		}
+	default:
+		return nil, fmt.Errorf("check: unknown circuit format %q (know netlist, blif, verilog, aiger)", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(c); err != nil {
+		return nil, fmt.Errorf("%s parse produced invalid IR: %w", format, err)
+	}
+	return c, nil
+}
+
+// FormatForPath guesses the circuit format from a file extension: .blif,
+// .v/.sv, .aag (ASCII AIGER), anything else is the text netlist format.
+func FormatForPath(path string) string {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".blif":
+		return "blif"
+	case ".v", ".sv":
+		return "verilog"
+	case ".aag", ".aig":
+		return "aiger"
+	default:
+		return "netlist"
+	}
+}
+
+// ReadCircuitFile opens path, picks the format from the extension, parses,
+// and verifies.
+func ReadCircuitFile(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := ReadCircuit(f, FormatForPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,71 @@
+package check
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logicregression/internal/aig"
+	"logicregression/internal/circuit"
+)
+
+func TestReadCircuitAllFormats(t *testing.T) {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPO("z", c.Xor(c.And(a, b), c.Or(a, b)))
+
+	dir := t.TempDir()
+	write := func(name string, emit func(*bytes.Buffer) error) string {
+		var buf bytes.Buffer
+		if err := emit(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	paths := []string{
+		write("c.net", func(b *bytes.Buffer) error { return circuit.WriteNetlist(b, c) }),
+		write("c.blif", func(b *bytes.Buffer) error { return circuit.WriteBLIF(b, c, "t") }),
+		write("c.v", func(b *bytes.Buffer) error { return circuit.WriteVerilog(b, c, "t") }),
+		write("c.aag", func(b *bytes.Buffer) error { return aig.WriteAIGER(b, aig.FromCircuit(c)) }),
+	}
+	for _, p := range paths {
+		got, err := ReadCircuitFile(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if got.NumPI() != 2 || got.NumPO() != 1 {
+			t.Errorf("%s: arity %d/%d after round trip", p, got.NumPI(), got.NumPO())
+		}
+		if err := EquivCircuits(c, got, 1, 0); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestReadCircuitRejectsGarbage(t *testing.T) {
+	if _, err := ReadCircuit(strings.NewReader("not a netlist"), "netlist"); err == nil {
+		t.Fatal("garbage netlist accepted")
+	}
+	if _, err := ReadCircuit(strings.NewReader(""), "bogus-format"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"x.blif": "blif", "x.v": "verilog", "x.SV": "verilog",
+		"x.aag": "aiger", "x.aig": "aiger", "x.net": "netlist", "x": "netlist",
+	} {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

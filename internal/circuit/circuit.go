@@ -78,6 +78,37 @@ func New() *Circuit {
 	return &Circuit{const0: -1, const1: -1}
 }
 
+// FromNodes assembles a circuit directly from a node list, PI registry, and
+// PO bindings, bypassing the builder API's by-construction checks. It is the
+// low-level constructor for tools that materialize circuits from external
+// representations (deserializers, test harnesses, fuzzers); callers are
+// responsible for validity — run check.Verify on anything assembled here
+// before letting it into the pipeline.
+func FromNodes(nodes []Node, piNames []string, pis []Signal, poNames []string, pos []Signal) *Circuit {
+	c := &Circuit{
+		nodes:   append([]Node(nil), nodes...),
+		pis:     append([]Signal(nil), pis...),
+		piNames: append([]string(nil), piNames...),
+		pos:     append([]Signal(nil), pos...),
+		poNames: append([]string(nil), poNames...),
+		const0:  -1,
+		const1:  -1,
+	}
+	for id, n := range c.nodes {
+		switch n.Type {
+		case Const0:
+			if c.const0 < 0 {
+				c.const0 = id
+			}
+		case Const1:
+			if c.const1 < 0 {
+				c.const1 = id
+			}
+		}
+	}
+	return c
+}
+
 // NumNodes returns the total node count (PIs, constants, and gates).
 func (c *Circuit) NumNodes() int { return len(c.nodes) }
 

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"logicregression/internal/check"
 	"logicregression/internal/circuit"
 	"logicregression/internal/fbdt"
 	"logicregression/internal/names"
@@ -302,6 +303,18 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 	}
 
 	res.SizeBeforeOpt = c.Size()
+	// The learned IR must satisfy the hard invariants unconditionally — a
+	// malformed circuit here is a pipeline bug, not bad input. The costlier
+	// cross-implementation equivalence check (circuit vs AIG vs truth
+	// table) is debug-gated via LOGICREG_CHECK.
+	if err := check.Verify(c); err != nil {
+		panic("core: learned circuit fails IR verification: " + err.Error())
+	}
+	if check.Enabled() {
+		if err := check.Equiv(c, opts.Seed, 0); err != nil {
+			panic("core: learned circuit: " + err.Error())
+		}
+	}
 	if !opts.DisableOptimization {
 		optCfg := opts.Opt
 		if optCfg.Seed == 0 {
@@ -311,6 +324,9 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 			optCfg.TimeLimit = 60 * time.Second // the paper's limit
 		}
 		c = opt.Optimize(c, optCfg)
+		if err := check.Verify(c); err != nil {
+			panic("core: optimized circuit fails IR verification: " + err.Error())
+		}
 	}
 	res.Circuit = c
 	res.Size = c.Size()

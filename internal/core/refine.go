@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"logicregression/internal/bitvec"
 	"logicregression/internal/circuit"
 	"logicregression/internal/oracle"
 	"logicregression/internal/sampling"
@@ -58,15 +59,21 @@ func refine(c *circuit.Circuit, counter *oracle.Counter, reports []OutputReport,
 			}
 			grew := false
 			for _, w := range ws {
-				base := counter.Eval(w)[po]
+				// One batch per witness: the base assignment plus one
+				// single-bit toggle per candidate input. Which inputs are
+				// probed depends only on inSup at the start of the witness,
+				// so blocking the queries preserves the scalar behaviour
+				// (and the query count) exactly.
+				var probes []int
 				for i := 0; i < counter.NumInputs(); i++ {
-					if inSup[i] {
-						continue
+					if !inSup[i] {
+						probes = append(probes, i)
 					}
-					w[i] = !w[i]
-					flipped := counter.Eval(w)[po]
-					w[i] = !w[i]
-					if flipped != base {
+				}
+				res := toggleProbe(counter, w, probes)
+				base := res[0].bit(po)
+				for k, i := range probes {
+					if res[k+1].bit(po) != base {
 						inSup[i] = true
 						sup = append(sup, i)
 						grew = true
@@ -100,6 +107,45 @@ func refine(c *circuit.Circuit, counter *oracle.Counter, reports []OutputReport,
 // refineChunk is the number of self-check patterns per oracle batch; a
 // multiple of 64 so the per-block bias-ratio schedule is unaffected.
 const refineChunk = 1 << 13
+
+// patternBits is a view of one pattern's outputs within batch result lanes.
+type patternBits struct {
+	lanes []bitvec.Word
+	w     int // words per lane
+	k     int // pattern index
+}
+
+func (p patternBits) bit(po int) bool {
+	return p.lanes[po*p.w+p.k/64]>>uint(p.k%64)&1 == 1
+}
+
+// toggleProbe evaluates the base assignment plus one single-input toggle per
+// entry of probes in a single batch query, returning one result view per
+// pattern, base first. The query count matches the scalar probe loop it
+// replaces: 1 + len(probes).
+func toggleProbe(o oracle.Oracle, base []bool, probes []int) []patternBits {
+	n := len(base)
+	cnt := 1 + len(probes)
+	w := oracle.Words(cnt)
+	lanes := make([]bitvec.Word, n*w)
+	for j := 0; j < n; j++ {
+		if base[j] {
+			for k := 0; k < cnt; k++ {
+				lanes[j*w+k/64] |= 1 << uint(k%64)
+			}
+		}
+	}
+	for k, i := range probes {
+		p := k + 1
+		lanes[i*w+p/64] ^= 1 << uint(p%64)
+	}
+	res := oracle.AsBatch(o).EvalBatch(lanes, cnt)
+	out := make([]patternBits, cnt)
+	for k := range out {
+		out[k] = patternBits{lanes: res, w: w, k: k}
+	}
+	return out
+}
 
 // findMismatches simulates the learned circuit against the oracle on whole
 // batches of fresh patterns and returns up to maxWitnessesPerOutput

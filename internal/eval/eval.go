@@ -87,13 +87,24 @@ func Measure(golden, learned oracle.Oracle, cfg Config) Report {
 	poolHits := [3]int{}
 	poolCounts := [3]int{}
 
+	goldenBatch := oracle.AsBatch(golden)
+	learnedBatch := oracle.AsBatch(learned)
+
 	if cfg.Directed {
-		for _, a := range directedPatterns(n) {
-			g := golden.Eval(a)
-			l := learned.Eval(a)
+		// All corner patterns (2n+2 of them) go through in one batch query
+		// per oracle instead of one scalar query per pattern.
+		pats := directedPatterns(n)
+		cnt := len(pats)
+		w := oracle.Words(cnt)
+		lanes := packAssignments(pats, n)
+		g := goldenBatch.EvalBatch(lanes, cnt)
+		l := learnedBatch.EvalBatch(lanes, cnt)
+		for p := 0; p < cnt; p++ {
 			hit := true
-			for j := range g {
-				if g[j] == l[j] {
+			for j := 0; j < nOut; j++ {
+				gb := g[j*w+p/64] >> uint(p%64) & 1
+				lb := l[j*w+p/64] >> uint(p%64) & 1
+				if gb == lb {
 					outMatches[j]++
 				} else {
 					hit = false
@@ -105,9 +116,6 @@ func Measure(golden, learned oracle.Oracle, cfg Config) Report {
 			rep.Patterns++
 		}
 	}
-
-	goldenBatch := oracle.AsBatch(golden)
-	learnedBatch := oracle.AsBatch(learned)
 	for pool, bias := range pools {
 		count := perPool
 		if pool == 2 {
@@ -160,6 +168,20 @@ func Measure(golden, learned oracle.Oracle, cfg Config) Report {
 
 // directedPatterns yields the corner assignments: all-zeros, all-ones, a
 // walking one, and a walking zero (2n+2 patterns).
+// packAssignments bit-packs per-pattern assignments into batch input lanes.
+func packAssignments(pats [][]bool, n int) []bitvec.Word {
+	w := oracle.Words(len(pats))
+	lanes := make([]bitvec.Word, n*w)
+	for k, a := range pats {
+		for j := 0; j < n; j++ {
+			if a[j] {
+				lanes[j*w+k/64] |= 1 << uint(k%64)
+			}
+		}
+	}
+	return lanes
+}
+
 func directedPatterns(n int) [][]bool {
 	out := make([][]bool, 0, 2*n+2)
 	zeros := make([]bool, n)

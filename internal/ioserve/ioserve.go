@@ -37,6 +37,7 @@ package ioserve
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -89,7 +90,13 @@ func (s *Server) Serve(ln net.Listener) error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.serveStream(conn)
+}
 
+// serveStream speaks the wire protocol over any byte stream. Separating it
+// from the connection lifecycle lets tests and the frame-parser fuzz target
+// drive the protocol without sockets.
+func (s *Server) serveStream(conn io.ReadWriter) {
 	// Per-connection oracle handle: forkable oracles run lock-free in
 	// parallel across connections; stateful ones share the server lock.
 	o := s.inner

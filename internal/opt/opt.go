@@ -19,6 +19,7 @@ import (
 
 	"logicregression/internal/aig"
 	"logicregression/internal/bdd"
+	"logicregression/internal/check"
 	"logicregression/internal/circuit"
 	"logicregression/internal/sat"
 	"logicregression/internal/sop"
@@ -91,37 +92,49 @@ func Optimize(c *circuit.Circuit, cfg Config) *circuit.Circuit {
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
+	// Every pass is followed by a debug-gated IR + equivalence assertion
+	// against the input circuit (no-op unless LOGICREG_CHECK is set; see
+	// internal/check).
 	best := c
 	g := aig.FromCircuit(c)
+	check.AssertAIG("opt/strash", c, g)
 	if s := g.ToCircuit(); s.Size() < best.Size() {
 		best = s
 	}
 	if !expired() {
 		g = Rewrite(g)
+		check.AssertAIG("opt/rewrite", c, g)
 		if s := g.ToCircuit(); s.Size() < best.Size() {
 			best = s
 		}
 	}
 	if !expired() && g.NumAnds() <= cfg.RefactorBudget {
 		g = Refactor(g)
+		check.AssertAIG("opt/refactor", c, g)
 		if s := g.ToCircuit(); s.Size() < best.Size() {
 			best = s
 		}
 	}
 	if !expired() && g.NumAnds() <= cfg.MaxFraigNodes {
 		g = Fraig(g, cfg)
+		check.AssertAIG("opt/fraig", c, g)
 		g = Rewrite(g)
+		check.AssertAIG("opt/fraig+rewrite", c, g)
 		if s := g.ToCircuit(); s.Size() < best.Size() {
 			best = s
 		}
 	}
 	if !cfg.DisableCollapse && !expired() {
-		if s, ok := Collapse(g, cfg); ok && s.Size() < best.Size() {
-			best = s
+		if s, ok := Collapse(g, cfg); ok {
+			check.Assert("opt/collapse", c, s)
+			if s.Size() < best.Size() {
+				best = s
+			}
 		}
 	}
 	if cfg.BalanceDepth && !expired() {
 		if s := Balance(aig.FromCircuit(best)).ToCircuit(); s.Size() <= best.Size() {
+			check.Assert("opt/balance", c, s)
 			best = s
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"logicregression/internal/aig"
+	"logicregression/internal/check"
 	"logicregression/internal/circuit"
 )
 
@@ -65,13 +66,17 @@ func RunScript(c *circuit.Circuit, script string, cfg Config) (*circuit.Circuit,
 		case "balance":
 			g = Balance(g)
 		case "collapse":
-			if s, ok := Collapse(g, cfg); ok && s.Size() < best.Size() {
-				best = s
+			if s, ok := Collapse(g, cfg); ok {
+				check.Assert("opt/script:collapse", c, s)
+				if s.Size() < best.Size() {
+					best = s
+				}
 			}
 			continue // collapse yields a circuit, not a new working AIG
 		default:
 			return nil, fmt.Errorf("opt: unknown pass %q (know strash, rewrite, refactor, fraig, collapse, balance)", pass)
 		}
+		check.AssertAIG("opt/script:"+pass, c, g)
 		consider()
 	}
 	return best, nil

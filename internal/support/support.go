@@ -11,14 +11,15 @@
 // The dependency counts come from PatternSampling, which issues its 2*r*|I|
 // probe queries through the oracle's batched interface (oracle.BatchOracle):
 // identification against a remote or cached black box costs a handful of
-// round trips per input instead of one per assignment. Witness deliberately
-// stays on the scalar path — it is the exact reference certificate.
+// round trips per input instead of one per assignment. Witness blocks its
+// base/toggled probe pairs the same way.
 package support
 
 import (
 	"math/rand"
 	"sort"
 
+	"logicregression/internal/bitvec"
 	"logicregression/internal/oracle"
 	"logicregression/internal/sampling"
 )
@@ -88,17 +89,42 @@ func Identify(o oracle.Oracle, out int, cfg Config, rng *rand.Rand) Info {
 // counterpart to the statistical Identify and is used by tests and
 // diagnostics.
 func Witness(o oracle.Oracle, out, in, tries int, rng *rand.Rand) ([]bool, bool) {
+	const chunk = 32 // 2 patterns per try = exactly one lane word
 	ratios := sampling.DefaultRatios
 	n := o.NumInputs()
-	for k := 0; k < tries; k++ {
-		a := sampling.RandomAssignment(rng, n, ratios[k%len(ratios)], nil)
-		a[in] = false
-		v0 := o.Eval(a)[out]
-		a[in] = true
-		v1 := o.Eval(a)[out]
-		if v0 != v1 {
+	batch := oracle.AsBatch(o)
+	for k := 0; k < tries; k += chunk {
+		cnt := min(tries-k, chunk)
+		// Random draws stay in the per-try reference order; only the
+		// queries are blocked (base/toggled pair per try, pairs packed
+		// into adjacent lanes).
+		bases := make([][]bool, cnt)
+		w := oracle.Words(2 * cnt)
+		lanes := make([]bitvec.Word, n*w)
+		for t := 0; t < cnt; t++ {
+			a := sampling.RandomAssignment(rng, n, ratios[(k+t)%len(ratios)], nil)
 			a[in] = false
-			return a, true
+			bases[t] = a
+			for j := 0; j < n; j++ {
+				bit := uint(2 * t % 64)
+				if a[j] || j == in {
+					var pair bitvec.Word
+					if a[j] {
+						pair = 0b11
+					}
+					if j == in {
+						pair |= 0b10 // toggled copy has the input set
+					}
+					lanes[j*w+2*t/64] |= pair << bit
+				}
+			}
+		}
+		res := batch.EvalBatch(lanes, 2*cnt)
+		for t := 0; t < cnt; t++ {
+			word := res[out*w+2*t/64] >> uint(2*t%64)
+			if word&1 != word>>1&1 {
+				return bases[t], true
+			}
 		}
 	}
 	return nil, false
