@@ -4,15 +4,21 @@
 //
 //	circuitlint design.net other.blif   # lint netlist files (format by extension)
 //	circuitlint -cases                  # lint the 20 built-in benchmark cases
+//	circuitlint -cases -baseline LINT_BASELINE.json
 //
 // Hard violations and equivalence failures exit 1; soft findings are
-// listed and exit 0 unless -werror is set.
+// listed and exit 0 unless -werror is set. With -baseline, per-code finding
+// counts are ratcheted against the checked-in baseline: any code whose count
+// exceeds its baseline entry (or that is absent from the baseline) exits 1,
+// and -write-baseline records the current counts as the new floor.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"logicregression/internal/cases"
 	"logicregression/internal/check"
@@ -21,11 +27,13 @@ import (
 
 func main() {
 	var (
-		runCases = flag.Bool("cases", false, "lint the 20 built-in benchmark cases")
-		noEquiv  = flag.Bool("no-equiv", false, "skip the random-simulation equivalence probe")
-		simWords = flag.Int("sim-words", check.DefaultSimWords, "64-pattern words per output in the equivalence probe")
-		seed     = flag.Int64("seed", 1, "seed for the equivalence probe patterns")
-		werror   = flag.Bool("werror", false, "treat soft lint findings as errors")
+		runCases  = flag.Bool("cases", false, "lint the 20 built-in benchmark cases")
+		noEquiv   = flag.Bool("no-equiv", false, "skip the random-simulation equivalence probe")
+		simWords  = flag.Int("sim-words", check.DefaultSimWords, "64-pattern words per output in the equivalence probe")
+		seed      = flag.Int64("seed", 1, "seed for the equivalence probe patterns")
+		werror    = flag.Bool("werror", false, "treat soft lint findings as errors")
+		basePath  = flag.String("baseline", "", "ratchet per-code finding counts against this JSON file")
+		writeBase = flag.Bool("write-baseline", false, "rewrite -baseline with the current counts")
 	)
 	flag.Parse()
 	if !*runCases && flag.NArg() == 0 {
@@ -34,6 +42,7 @@ func main() {
 	}
 
 	hard, soft := 0, 0
+	counts := map[string]int{}
 	lint := func(name string, c *circuit.Circuit) {
 		if err := check.Verify(c); err != nil {
 			fmt.Printf("%s: VIOLATION: %v\n", name, err)
@@ -49,6 +58,7 @@ func main() {
 		}
 		for _, f := range check.Lint(c) {
 			fmt.Printf("%s: %s\n", name, f)
+			counts[f.Code]++
 			soft++
 		}
 	}
@@ -68,6 +78,11 @@ func main() {
 		}
 	}
 
+	if *basePath != "" {
+		if !ratchet(*basePath, counts, *writeBase) {
+			os.Exit(1)
+		}
+	}
 	switch {
 	case hard > 0:
 		fmt.Fprintf(os.Stderr, "circuitlint: %d hard violation(s), %d finding(s)\n", hard, soft)
@@ -78,4 +93,55 @@ func main() {
 	case soft > 0:
 		fmt.Fprintf(os.Stderr, "circuitlint: %d finding(s)\n", soft)
 	}
+}
+
+// ratchet compares per-code finding counts against the baseline file and
+// reports whether the run is within the ratchet. When write is set it
+// records the current counts instead (tightening or initializing the floor).
+func ratchet(path string, counts map[string]int, write bool) bool {
+	if write {
+		data, err := json.MarshalIndent(map[string]any{"codes": counts}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circuitlint:", err)
+			return false
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "circuitlint:", err)
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "circuitlint: wrote baseline %s\n", path)
+		return true
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circuitlint:", err)
+		return false
+	}
+	var base struct {
+		Codes map[string]int `json:"codes"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "circuitlint: %s: %v\n", path, err)
+		return false
+	}
+	var codes []string
+	for code := range counts {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	ok := true
+	for _, code := range codes {
+		limit, known := base.Codes[code]
+		switch {
+		case !known:
+			fmt.Fprintf(os.Stderr, "circuitlint: ratchet: new finding code %q (%d findings) not in %s\n", code, counts[code], path)
+			ok = false
+		case counts[code] > limit:
+			fmt.Fprintf(os.Stderr, "circuitlint: ratchet: %q regressed: %d findings, baseline %d\n", code, counts[code], limit)
+			ok = false
+		case counts[code] < limit:
+			fmt.Fprintf(os.Stderr, "circuitlint: ratchet: %q improved: %d findings, baseline %d (tighten with -write-baseline)\n", code, counts[code], limit)
+		}
+	}
+	return ok
 }

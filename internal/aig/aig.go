@@ -306,6 +306,12 @@ func (g *AIG) ToCircuit() *circuit.Circuit {
 		if !l.Compl() {
 			return sig[n]
 		}
+		if n == 0 {
+			// Complemented constant edge: emit CONST1 directly instead of
+			// NOT(CONST0), which every lint pass would flag as a constant
+			// fanin gate.
+			return c.Const(true)
+		}
 		if neg[n] < 0 {
 			neg[n] = c.NotGate(sig[n])
 		}

@@ -9,6 +9,8 @@
 //	            (byte-identical reruns at a fixed seed)
 //	orphanerr   netlist IO errors must not be dropped (a silently
 //	            truncated circuit corrupts everything downstream)
+//	errcompare  errors are matched with errors.Is, never == / != against
+//	            sentinels (%w wrapping breaks identity checks)
 package analyzers
 
 import (
@@ -20,7 +22,7 @@ import (
 
 // All returns every repo analyzer, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ScalarEval, SeededRand, OrphanErr}
+	return []*analysis.Analyzer{ScalarEval, SeededRand, OrphanErr, ErrCompare}
 }
 
 // unparen strips any parentheses around e.

@@ -124,6 +124,10 @@ func TestOrphanErrFixture(t *testing.T) {
 	runFixture(t, OrphanErr, "logicregression/fixture/orphanerr")
 }
 
+func TestErrCompareFixture(t *testing.T) {
+	runFixture(t, ErrCompare, "logicregression/fixture/errcompare")
+}
+
 // TestRepoIsClean runs every analyzer over the whole module: the rules the
 // analyzers encode are supposed to hold in production code right now.
 func TestRepoIsClean(t *testing.T) {

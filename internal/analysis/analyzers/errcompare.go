@@ -1,0 +1,55 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"logicregression/internal/analysis"
+)
+
+// ErrCompare flags == / != comparisons between two error values. Sentinel
+// comparisons like err == io.EOF break as soon as any layer wraps the error
+// (fmt.Errorf %w is used throughout the solver and IO stack), silently
+// turning a clean EOF into a hard failure or vice versa; errors.Is unwraps.
+// Comparisons against nil are the idiomatic success check and stay legal.
+var ErrCompare = &analysis.Analyzer{
+	Name: "errcompare",
+	Doc: "flags == / != comparisons between error values (wrapped errors slip " +
+		"through identity checks); use errors.Is instead",
+	Run: runErrCompare,
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorValue reports whether e is a non-nil expression of a type that
+// implements error.
+func isErrorValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+func runErrCompare(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isErrorValue(pass.TypesInfo, be.X) || !isErrorValue(pass.TypesInfo, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "error compared with %s; wrapped errors slip through identity checks — use errors.Is", be.Op)
+			return true
+		})
+	}
+	return nil
+}

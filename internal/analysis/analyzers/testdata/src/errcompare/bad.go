@@ -1,0 +1,27 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBudget mirrors the sentinel style of internal/bdd.
+var ErrBudget = errors.New("budget exceeded")
+
+// BadSentinels compares errors by identity; one fmt.Errorf("%w") anywhere in
+// the call chain makes every one of these checks silently wrong.
+func BadSentinels(err error) (string, error) {
+	if err == io.EOF { // want "use errors.Is"
+		return "eof", nil
+	}
+	if err != ErrBudget { // want "use errors.Is"
+		return "", fmt.Errorf("read: %w", err)
+	}
+	return "budget", nil
+}
+
+// BadPair compares two error values directly.
+func BadPair(a, b error) bool {
+	return a == b // want "use errors.Is"
+}

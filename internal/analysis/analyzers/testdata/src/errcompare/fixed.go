@@ -1,0 +1,26 @@
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+// GoodSentinels unwraps with errors.Is; nil checks are the idiomatic
+// success test and must stay silent.
+func GoodSentinels(err error) (string, error) {
+	if err == nil {
+		return "ok", nil
+	}
+	if errors.Is(err, io.EOF) {
+		return "eof", nil
+	}
+	if !errors.Is(err, ErrBudget) {
+		return "", err
+	}
+	return "budget", nil
+}
+
+// GoodNil covers the != nil direction too.
+func GoodNil(err error) bool {
+	return err != nil
+}

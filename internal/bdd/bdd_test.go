@@ -1,6 +1,7 @@
 package bdd
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -158,7 +159,7 @@ func TestFromAIGOutputBudget(t *testing.T) {
 	// still too small.
 	rng := rand.New(rand.NewSource(2))
 	g := randomAIG(rng, 8, 60)
-	if _, _, err := FromAIGOutput(g, 0, 4); err != ErrBudget {
+	if _, _, err := FromAIGOutput(g, 0, 4); !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }

@@ -1,6 +1,7 @@
 package bdd
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -91,7 +92,7 @@ func TestGuardConvertsBudgetPanic(t *testing.T) {
 			acc = m.Xor(acc, m.Var(i))
 		}
 	})
-	if err != ErrBudget {
+	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }

@@ -26,6 +26,17 @@ func allGates(t *testing.T) *circuit.Circuit {
 	return c
 }
 
+func TestErrorFormat(t *testing.T) {
+	// Node 0 is a valid node id and must be named in the message; only
+	// negative ids mean "circuit-level violation".
+	if got := (&Error{Node: 0, Msg: "boom"}).Error(); !strings.Contains(got, "node 0") {
+		t.Errorf("Error{Node: 0} = %q, want it to mention node 0", got)
+	}
+	if got := (&Error{Node: -1, Msg: "boom"}).Error(); strings.Contains(got, "node") {
+		t.Errorf("Error{Node: -1} = %q, want no node id", got)
+	}
+}
+
 func TestVerifyAcceptsBuilderCircuits(t *testing.T) {
 	if err := Verify(allGates(t)); err != nil {
 		t.Fatalf("Verify rejected a builder-made circuit: %v", err)
@@ -75,6 +86,16 @@ func TestVerifyViolations(t *testing.T) {
 				nil, nil,
 				[]string{"z"}, []circuit.Signal{1}),
 			wantSub: "duplicate CONST1",
+		},
+		{
+			// The first CONST0 sitting at node id 0 matters: the duplicate
+			// detector must treat id 0 as "already seen", not as "unset".
+			name: "duplicate CONST0 at node 0",
+			c: circuit.FromNodes(
+				[]circuit.Node{{Type: circuit.Const0}, {Type: circuit.Const0}},
+				nil, nil,
+				[]string{"z"}, []circuit.Signal{1}),
+			wantSub: "duplicate CONST0",
 		},
 		{
 			name: "unregistered PI node",

@@ -352,3 +352,69 @@ func TestConcurrentClientsSerializedOracle(t *testing.T) {
 		t.Fatalf("shared oracle saw %d queries, want %d", got, clients*queries)
 	}
 }
+
+// TestConnectionChurnStress mixes long-lived querying clients with clients
+// that connect, fire one query, and hang up, against a shared memo-wrapped
+// oracle on the serialized (non-Forker) path. Under -race this covers the
+// per-connection goroutine lifecycle against the server lock and the memo's
+// shard locks; functionally every answer must match the direct oracle.
+func TestConnectionChurnStress(t *testing.T) {
+	g := golden()
+	direct := oracle.FromCircuit(g)
+	memo := oracle.NewMemoCap(oracle.ScalarOnly(direct), 16)
+	addr := startServer(t, memo)
+
+	const steady = 3
+	const churners = 3
+	const rounds = 30
+	errc := make(chan error, steady+churners)
+	for c := 0; c < steady; c++ {
+		go func(seed int64) {
+			errc <- func() error {
+				cl, err := DialV2(addr)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				rng := rand.New(rand.NewSource(seed))
+				for r := 0; r < rounds; r++ {
+					a := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
+					got, want := cl.Eval(a), direct.Eval(a)
+					for i := range want {
+						if got[i] != want[i] {
+							return fmt.Errorf("steady %d: Eval(%v) = %v, want %v", seed, a, got, want)
+						}
+					}
+				}
+				return nil
+			}()
+		}(int64(c))
+	}
+	for c := 0; c < churners; c++ {
+		go func(seed int64) {
+			errc <- func() error {
+				rng := rand.New(rand.NewSource(100 + seed))
+				for r := 0; r < rounds; r++ {
+					cl, err := Dial(addr)
+					if err != nil {
+						return err
+					}
+					a := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
+					got, want := cl.Eval(a), direct.Eval(a)
+					cl.Close()
+					for i := range want {
+						if got[i] != want[i] {
+							return fmt.Errorf("churner %d: Eval(%v) = %v, want %v", seed, a, got, want)
+						}
+					}
+				}
+				return nil
+			}()
+		}(int64(c))
+	}
+	for c := 0; c < steady+churners; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mutation
+
+// Benchmark of the circuit-level fault engine on a real contest case.
+// Running it also records the measurements:
+//
+//	go test -run '^$' -bench BenchmarkCircuitMutants ./internal/mutation
+//
+// writes BENCH_mutation.json at the repository root with mutants/sec for
+// fault injection alone (Apply) and for the full killer harness (every
+// verification layer, shared per-case BDD manager).
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"logicregression/internal/cases"
+)
+
+const (
+	benchCase   = "case_5" // 87 inputs, 16 outputs, mid-size cones
+	benchBudget = 24
+	benchOut    = "../../BENCH_mutation.json"
+)
+
+type benchRow struct {
+	Mode          string  `json:"mode"`
+	NsPerMutant   float64 `json:"ns_per_mutant"`
+	MutantsPerSec float64 `json:"mutants_per_sec"`
+}
+
+var benchOnce sync.Once
+
+// BenchmarkCircuitMutants times one full harness pass (inject + all layers)
+// per iteration. The first run also times injection alone and writes both
+// rows to BENCH_mutation.json.
+func BenchmarkCircuitMutants(b *testing.B) {
+	cs, err := cases.ByName(benchCase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cs.Circuit
+	faults := Sample(c, 1, benchBudget)
+	var builder []Fault
+	for _, f := range faults {
+		if !f.IR {
+			builder = append(builder, f)
+		}
+	}
+	cfg := Layers{MaxConflicts: 20000}
+	cc := newCaseContext(c, cfg)
+
+	benchOnce.Do(func() { writeBenchJSON(b, cc, builder) })
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.runMutant(builder[i%len(builder)])
+	}
+}
+
+func writeBenchJSON(b *testing.B, cc *caseContext, faults []Fault) {
+	modes := []struct {
+		name string
+		fn   func()
+	}{
+		{"apply", func() {
+			for _, f := range faults {
+				Apply(cc.orig, f)
+			}
+		}},
+		{"harness", func() {
+			for _, f := range faults {
+				cc.runMutant(f)
+			}
+		}},
+	}
+	rows := make([]benchRow, len(modes))
+	for i, m := range modes {
+		ns := timeMode(m.fn) / float64(len(faults))
+		rows[i] = benchRow{
+			Mode:          m.name,
+			NsPerMutant:   ns,
+			MutantsPerSec: 1e9 / ns,
+		}
+	}
+	data, err := json.MarshalIndent(map[string]any{
+		"case":    benchCase,
+		"mutants": len(faults),
+		"layers":  cc.cfg,
+		"results": rows,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+		b.Logf("skipping %s: %v", benchOut, err)
+	}
+}
+
+// timeMode times fn by doubling the iteration count until the wall clock per
+// measurement exceeds 200ms, then returns ns per call.
+func timeMode(fn func()) float64 {
+	fn() // warm-up
+	for n := 1; ; n *= 2 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		if d := time.Since(start); d >= 200*time.Millisecond {
+			return float64(d.Nanoseconds()) / float64(n)
+		}
+	}
+}

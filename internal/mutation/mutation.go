@@ -1,0 +1,300 @@
+// Package mutation measures the adequacy of this repo's verification stack
+// by injecting known defects and demanding that some gate in the pipeline
+// kills them. It operates at two levels:
+//
+//   - Circuit-level fault injection (this file, harness.go, bddeq.go): a
+//     deterministic, seeded fault engine over circuit.Circuit in the spirit
+//     of ATPG stuck-at fault models — stuck-at-0/1 on gate outputs and PO
+//     drivers, gate-type flips (AND<->OR, XOR<->XNOR, NAND<->NOR), fanin
+//     swaps, negation drops, dead-gate grafts, and raw IR corruptions that
+//     bypass the builder. A killer harness runs every mutant through the
+//     layers of the verification stack (check.Verify, check.Lint, random
+//     simulation, SAT-based CEC, BDD equivalence) and records which layer
+//     killed it — or that it escaped.
+//
+//   - Go source mutation (source.go, overlay.go): a go/ast-based mutator for
+//     the critical packages applying classic mutation operators (conditional
+//     boundary, operator swap, negate condition, off-by-one literals, early
+//     return removal), compiling each mutant with `go build -overlay` and
+//     running only that package's tests under a per-mutant timeout. The
+//     killed/survived tally is the test suite's mutation score.
+//
+// Everything is deterministic for a fixed seed: the same seed yields the
+// same mutant set in the same order with the same verdicts, which is what
+// lets CI ratchet against a checked-in baseline (MUTATION_BASELINE.json).
+package mutation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"logicregression/internal/circuit"
+)
+
+// Kind names a circuit-level fault model.
+type Kind string
+
+// Circuit fault kinds. The first group goes through the circuit builder and
+// always yields a structurally valid mutant (only the semantic layers can
+// kill it); the ir-* group corrupts the raw node list behind the builder's
+// back, which only check.Verify can catch.
+const (
+	StuckAt0     Kind = "stuck-at-0"    // gate output forced to constant 0
+	StuckAt1     Kind = "stuck-at-1"    // gate output forced to constant 1
+	TypeFlip     Kind = "type-flip"     // AND<->OR, XOR<->XNOR, NAND<->NOR
+	FaninSwap    Kind = "fanin-swap"    // In0 <-> In1 (all gates commutative: control)
+	FaninRewire  Kind = "fanin-rewire"  // one fanin redirected to another node
+	NegationDrop Kind = "negation-drop" // NOT gate turned into a BUF
+	DeadGraft    Kind = "dead-graft"    // extra gate outside every PO cone
+	PONegate     Kind = "po-negate"     // PO driver complemented
+	POStuck0     Kind = "po-stuck-0"    // PO driver forced to constant 0
+	POStuck1     Kind = "po-stuck-1"    // PO driver forced to constant 1
+
+	IRTopoBreak Kind = "ir-topo-break" // fanin points at the gate itself
+	IRDupConst  Kind = "ir-dup-const"  // second CONST0 node appended
+)
+
+// A Fault is one injectable defect, addressed by node id / PO index in the
+// original circuit.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// Node is the gate site, or -1 for PO faults and grafts.
+	Node int `json:"node"`
+	// PO is the output index for PO faults, -1 otherwise.
+	PO int `json:"po"`
+	// Arg is kind-specific: the rewire target signal for FaninRewire, the
+	// second graft fanin for DeadGraft (Node holds the first), else -1.
+	Arg int `json:"arg"`
+	// Preserving marks faults that by construction cannot change the
+	// Boolean function (fanin swaps on commutative gates, dead grafts);
+	// the harness uses them as controls: an equivalence layer that kills
+	// one is itself broken.
+	Preserving bool `json:"preserving,omitempty"`
+	// IR marks raw node-list corruptions. The mutant is not a valid DAG,
+	// so the semantic layers are skipped; check.Verify must kill it.
+	IR bool `json:"ir,omitempty"`
+}
+
+func (f Fault) String() string {
+	switch {
+	case f.PO >= 0:
+		return fmt.Sprintf("%s@po%d", f.Kind, f.PO)
+	case f.Arg >= 0:
+		return fmt.Sprintf("%s@n%d,%d", f.Kind, f.Node, f.Arg)
+	default:
+		return fmt.Sprintf("%s@n%d", f.Kind, f.Node)
+	}
+}
+
+// typeFlips pairs each 2-input gate type with its flip partner.
+var typeFlips = map[circuit.GateType]circuit.GateType{
+	circuit.And:  circuit.Or,
+	circuit.Or:   circuit.And,
+	circuit.Xor:  circuit.Xnor,
+	circuit.Xnor: circuit.Xor,
+	circuit.Nand: circuit.Nor,
+	circuit.Nor:  circuit.Nand,
+}
+
+// Enumerate lists every fault site of c in deterministic node order. Faults
+// whose Arg is randomized (FaninRewire targets, DeadGraft fanins) get Arg -1
+// here; Sample resolves them with its seeded generator.
+func Enumerate(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for id := 0; id < c.NumNodes(); id++ {
+		nd := c.Node(id)
+		switch {
+		case nd.Type.TwoInput():
+			out = append(out,
+				Fault{Kind: StuckAt0, Node: id, PO: -1, Arg: -1},
+				Fault{Kind: StuckAt1, Node: id, PO: -1, Arg: -1},
+				Fault{Kind: TypeFlip, Node: id, PO: -1, Arg: -1},
+				Fault{Kind: FaninRewire, Node: id, PO: -1, Arg: -1})
+			if nd.In0 != nd.In1 {
+				out = append(out, Fault{Kind: FaninSwap, Node: id, PO: -1, Arg: -1, Preserving: true})
+			}
+		case nd.Type == circuit.Not:
+			out = append(out, Fault{Kind: NegationDrop, Node: id, PO: -1, Arg: -1})
+		}
+	}
+	for i := 0; i < c.NumPO(); i++ {
+		out = append(out,
+			Fault{Kind: PONegate, Node: -1, PO: i, Arg: -1},
+			Fault{Kind: POStuck0, Node: -1, PO: i, Arg: -1},
+			Fault{Kind: POStuck1, Node: -1, PO: i, Arg: -1})
+	}
+	// A few structural controls and IR corruptions per circuit; sites are
+	// fixed, fanins (where needed) are resolved by Sample.
+	if c.NumNodes() > 0 {
+		out = append(out,
+			Fault{Kind: DeadGraft, Node: -1, PO: -1, Arg: -1, Preserving: true},
+			Fault{Kind: IRDupConst, Node: -1, PO: -1, Arg: -1, IR: true})
+		for id := 0; id < c.NumNodes(); id++ {
+			if c.Node(id).Type.TwoInput() {
+				out = append(out, Fault{Kind: IRTopoBreak, Node: id, PO: -1, Arg: -1, IR: true})
+				break // one topo-break site is enough per circuit
+			}
+		}
+	}
+	return out
+}
+
+// Sample draws up to budget faults from the full site enumeration of c,
+// deterministically for a fixed seed: the same (circuit, seed, budget)
+// always yields the same fault list in the same order. The per-circuit
+// controls (dead graft, IR corruptions) are reserved ahead of the random
+// draw so every sampled case exercises the verify layer and a preserving
+// control even at small budgets. Randomized arguments (rewire targets,
+// graft fanins) are resolved here with the same generator.
+func Sample(c *circuit.Circuit, seed int64, budget int) []Fault {
+	var regular, controls []Fault
+	for _, f := range Enumerate(c) {
+		if f.IR || f.Kind == DeadGraft {
+			controls = append(controls, f)
+		} else {
+			regular = append(regular, f)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(regular), func(i, j int) { regular[i], regular[j] = regular[j], regular[i] })
+	all := regular
+	if budget > 0 {
+		if keep := budget - len(controls); keep < len(all) {
+			all = all[:max(keep, 0)]
+		}
+	}
+	all = append(all, controls...)
+	if budget > 0 && budget < len(all) {
+		all = all[:budget]
+	}
+	for i := range all {
+		switch all[i].Kind {
+		case FaninRewire:
+			all[i].Arg = rewireTarget(c, all[i].Node, rng)
+		case DeadGraft:
+			all[i].Node = rng.Intn(c.NumNodes())
+			all[i].Arg = rng.Intn(c.NumNodes())
+		}
+	}
+	return all
+}
+
+// rewireTarget picks a replacement fanin for gate id: any node below id that
+// is not already the gate's first fanin (topological order stays intact by
+// construction).
+func rewireTarget(c *circuit.Circuit, id int, rng *rand.Rand) int {
+	nd := c.Node(id)
+	for tries := 0; tries < 32; tries++ {
+		t := rng.Intn(id) // nodes strictly below the gate
+		if t != nd.In0 {
+			return t
+		}
+	}
+	return 0
+}
+
+// Apply injects fault f into a copy of c and returns the mutant. Builder
+// faults are replayed through the circuit builder (structurally valid by
+// construction); IR faults corrupt the raw node list via FromNodes.
+func Apply(c *circuit.Circuit, f Fault) *circuit.Circuit {
+	if f.IR {
+		return applyIR(c, f)
+	}
+	dst := circuit.New()
+	m := make([]circuit.Signal, c.NumNodes())
+	pi := 0
+	for id := 0; id < c.NumNodes(); id++ {
+		nd := c.Node(id)
+		t := nd.Type
+		in0, in1 := nd.In0, nd.In1
+		if id == f.Node {
+			switch f.Kind {
+			case StuckAt0:
+				m[id] = dst.Const(false)
+				continue
+			case StuckAt1:
+				m[id] = dst.Const(true)
+				continue
+			case TypeFlip:
+				t = typeFlips[t]
+			case FaninSwap:
+				in0, in1 = in1, in0
+			case FaninRewire:
+				in0 = f.Arg
+			case NegationDrop:
+				t = circuit.Buf
+			}
+		}
+		switch t {
+		case circuit.PI:
+			m[id] = dst.AddPI(c.PINames()[pi])
+			pi++
+		case circuit.Const0:
+			m[id] = dst.Const(false)
+		case circuit.Const1:
+			m[id] = dst.Const(true)
+		case circuit.Not:
+			m[id] = dst.NotGate(m[in0])
+		case circuit.Buf:
+			m[id] = dst.BufGate(m[in0])
+		case circuit.And:
+			m[id] = dst.And(m[in0], m[in1])
+		case circuit.Or:
+			m[id] = dst.Or(m[in0], m[in1])
+		case circuit.Xor:
+			m[id] = dst.Xor(m[in0], m[in1])
+		case circuit.Nand:
+			m[id] = dst.Nand(m[in0], m[in1])
+		case circuit.Nor:
+			m[id] = dst.Nor(m[in0], m[in1])
+		case circuit.Xnor:
+			m[id] = dst.Xnor(m[in0], m[in1])
+		default:
+			panic(fmt.Sprintf("mutation: unknown gate type %v", t))
+		}
+	}
+	names := c.PONames()
+	for i := 0; i < c.NumPO(); i++ {
+		driver := m[c.POSignal(i)]
+		if i == f.PO {
+			switch f.Kind {
+			case PONegate:
+				driver = dst.NotGate(driver)
+			case POStuck0:
+				driver = dst.Const(false)
+			case POStuck1:
+				driver = dst.Const(true)
+			}
+		}
+		dst.AddPO(names[i], driver)
+	}
+	if f.Kind == DeadGraft {
+		dst.And(m[f.Node], m[f.Arg]) // referenced by nothing: dead by construction
+	}
+	return dst
+}
+
+// applyIR clones the raw node list of c and corrupts it directly, bypassing
+// the builder's by-construction guarantees.
+func applyIR(c *circuit.Circuit, f Fault) *circuit.Circuit {
+	nodes := make([]circuit.Node, c.NumNodes())
+	for id := range nodes {
+		nodes[id] = c.Node(id)
+	}
+	pis := make([]circuit.Signal, c.NumPI())
+	for i := range pis {
+		pis[i] = c.PISignal(i)
+	}
+	pos := make([]circuit.Signal, c.NumPO())
+	for i := range pos {
+		pos[i] = c.POSignal(i)
+	}
+	switch f.Kind {
+	case IRTopoBreak:
+		nodes[f.Node].In0 = f.Node // self-loop: breaks strict topological order
+	case IRDupConst:
+		nodes = append(nodes, circuit.Node{Type: circuit.Const0})
+		nodes = append(nodes, circuit.Node{Type: circuit.Const0})
+	}
+	return circuit.FromNodes(nodes, c.PINames(), pis, c.PONames(), pos)
+}

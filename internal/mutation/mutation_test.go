@@ -1,0 +1,174 @@
+package mutation
+
+import (
+	"reflect"
+	"testing"
+
+	"logicregression/internal/bdd"
+	"logicregression/internal/check"
+	"logicregression/internal/circuit"
+)
+
+// testCircuit builds a small multi-gate circuit:
+//
+//	f0 = (a AND b) XOR (NOT c)
+//	f1 = (a OR c)
+func testCircuit() *circuit.Circuit {
+	c := circuit.New()
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	ci := c.AddPI("c")
+	ab := c.And(a, b)
+	nc := c.NotGate(ci)
+	c.AddPO("f0", c.Xor(ab, nc))
+	c.AddPO("f1", c.Or(a, ci))
+	return c
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	c := testCircuit()
+	s1 := Sample(c, 42, 5)
+	s2 := Sample(c, 42, 5)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed produced different samples:\n%v\n%v", s1, s2)
+	}
+	if len(s1) != 5 {
+		t.Fatalf("budget 5 gave %d faults", len(s1))
+	}
+	s3 := Sample(c, 43, 5)
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatalf("different seeds produced identical samples (suspicious): %v", s1)
+	}
+	// Unbudgeted sample covers every enumerated site.
+	all := Enumerate(c)
+	if got := Sample(c, 7, 0); len(got) != len(all) {
+		t.Fatalf("unbudgeted sample has %d faults, enumeration has %d", len(got), len(all))
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	c := testCircuit()
+	// Node ids: 0=a 1=b 2=c 3=and 4=not 5=xor(po0) 6=or(po1).
+	in := []bool{true, true, false} // a=1 b=1 c=0: f0 = 1 XOR 1 = 0, f1 = 1
+	base := c.Eval(in)
+
+	tests := []struct {
+		f    Fault
+		want [2]bool
+	}{
+		{Fault{Kind: StuckAt0, Node: 3, PO: -1, Arg: -1}, [2]bool{true, true}},     // and->0: f0 = 0 XOR 1
+		{Fault{Kind: TypeFlip, Node: 3, PO: -1, Arg: -1}, [2]bool{base[0], true}},  // a OR b = a AND b here
+		{Fault{Kind: NegationDrop, Node: 4, PO: -1, Arg: -1}, [2]bool{true, true}}, // not->buf: f0 = 1 XOR 0
+		{Fault{Kind: PONegate, Node: -1, PO: 1, Arg: -1}, [2]bool{base[0], false}},
+		{Fault{Kind: POStuck0, Node: -1, PO: 0, Arg: -1}, [2]bool{false, true}},
+		{Fault{Kind: POStuck1, Node: -1, PO: 0, Arg: -1}, [2]bool{true, true}},
+	}
+	for _, tt := range tests {
+		m := Apply(c, tt.f)
+		if err := check.Verify(m); err != nil {
+			t.Errorf("%s: mutant fails Verify: %v", tt.f, err)
+			continue
+		}
+		got := m.Eval(in)
+		if got[0] != tt.want[0] || got[1] != tt.want[1] {
+			t.Errorf("%s: Eval = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestApplyPreservingFaults(t *testing.T) {
+	c := testCircuit()
+	swap := Fault{Kind: FaninSwap, Node: 3, PO: -1, Arg: -1, Preserving: true}
+	graft := Fault{Kind: DeadGraft, Node: 0, PO: -1, Arg: 1, Preserving: true}
+	for _, f := range []Fault{swap, graft} {
+		m := Apply(c, f)
+		if err := check.Verify(m); err != nil {
+			t.Fatalf("%s: mutant fails Verify: %v", f, err)
+		}
+		if err := check.EquivCircuits(c, m, 1, 4); err != nil {
+			t.Errorf("%s: preserving fault changed semantics: %v", f, err)
+		}
+	}
+}
+
+func TestIRFaultsKilledByVerify(t *testing.T) {
+	c := testCircuit()
+	for _, f := range []Fault{
+		{Kind: IRTopoBreak, Node: 3, PO: -1, Arg: -1, IR: true},
+		{Kind: IRDupConst, Node: -1, PO: -1, Arg: -1, IR: true},
+	} {
+		res := RunMutant(c, f, Layers{})
+		if res.Verdicts[LayerVerify] != Kill {
+			t.Errorf("%s: verify verdict = %s, want kill", f, res.Verdicts[LayerVerify])
+		}
+		if res.Escaped {
+			t.Errorf("%s: escaped", f)
+		}
+	}
+}
+
+func TestRunMutantKillsAndControls(t *testing.T) {
+	c := testCircuit()
+	// A semantics-changing fault must be killed by cec and bdd, with ground
+	// truth Changed.
+	res := RunMutant(c, Fault{Kind: PONegate, Node: -1, PO: 0, Arg: -1}, Layers{})
+	if !res.Changed {
+		t.Fatalf("po-negate: not marked changed: %+v", res)
+	}
+	if res.Verdicts[LayerCEC] != Kill || res.Verdicts[LayerBDD] != Kill || res.Verdicts[LayerSim] != Kill {
+		t.Fatalf("po-negate: semantic layers failed to kill: %+v", res.Verdicts)
+	}
+	if res.Escaped || res.FalseKill || res.Inconsistent {
+		t.Fatalf("po-negate: bad flags: %+v", res)
+	}
+
+	// A preserving fault must pass every equivalence layer.
+	res = RunMutant(c, Fault{Kind: FaninSwap, Node: 3, PO: -1, Arg: -1, Preserving: true}, Layers{})
+	if res.Changed || res.FalseKill {
+		t.Fatalf("fanin-swap: changed=%v falsekill=%v", res.Changed, res.FalseKill)
+	}
+	for _, layer := range []string{LayerSim, LayerCEC, LayerBDD} {
+		if res.Verdicts[layer] != Pass {
+			t.Fatalf("fanin-swap: %s verdict = %s, want pass", layer, res.Verdicts[layer])
+		}
+	}
+}
+
+func TestEquivBDD(t *testing.T) {
+	c := testCircuit()
+	if eq, _, err := EquivBDD(c, c, 1<<16); err != nil || !eq {
+		t.Fatalf("EquivBDD(c, c) = %v, %v; want true, nil", eq, err)
+	}
+	m := Apply(c, Fault{Kind: PONegate, Node: -1, PO: 1, Arg: -1})
+	eq, badPO, err := EquivBDD(c, m, 1<<16)
+	if err != nil || eq {
+		t.Fatalf("EquivBDD(c, negated) = %v, %v; want false, nil", eq, err)
+	}
+	if badPO != 1 {
+		t.Fatalf("badPO = %d, want 1", badPO)
+	}
+	// An absurdly small budget must report ErrBudget, not a verdict.
+	if _, _, err := EquivBDD(c, m, 2); err != bdd.ErrBudget {
+		t.Fatalf("tiny budget err = %v, want ErrBudget", err)
+	}
+}
+
+func TestReportRunCircuitDeterministic(t *testing.T) {
+	c := testCircuit()
+	run := func() *Report {
+		r := &Report{Seed: 5, Budget: 8, Layers: Layers{MaxConflicts: 1000}}
+		r.RunCircuit("t", c, 8)
+		return r
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed produced different reports:\n%+v\n%+v", r1, r2)
+	}
+	cr := r1.Cases[0]
+	if len(cr.Escaped) != 0 || len(cr.FalseKills) != 0 || len(cr.Inconsistent) != 0 {
+		t.Fatalf("adequacy failure on test circuit: %+v", cr)
+	}
+	if cr.Killed != cr.Changed {
+		t.Fatalf("killed=%d changed=%d: some changed mutant was not killed", cr.Killed, cr.Changed)
+	}
+}

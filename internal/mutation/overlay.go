@@ -1,0 +1,213 @@
+package mutation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// SourceOutcome classifies one source mutant's fate.
+type SourceOutcome string
+
+// Outcomes. Killed and Timeout both count toward the mutation score (an
+// infinite loop is a detected defect); Invalid mutants do not compile and
+// are excluded from the denominator.
+const (
+	Killed   SourceOutcome = "killed"
+	Survived SourceOutcome = "survived"
+	Timeout  SourceOutcome = "timeout"
+	Invalid  SourceOutcome = "invalid"
+)
+
+// SourceResult is one executed source mutant.
+type SourceResult struct {
+	Mutant  SourceMutant  `json:"mutant"`
+	Outcome SourceOutcome `json:"outcome"`
+	// Detail carries the first line of the failing test output for killed
+	// mutants (what caught it), or the build error for invalid ones.
+	Detail string `json:"detail,omitempty"`
+}
+
+// SourceConfig drives a source mutation run.
+type SourceConfig struct {
+	// ModRoot is the module root directory (where go.mod lives).
+	ModRoot string `json:"-"`
+	// Packages are module-relative package directories, e.g.
+	// "internal/circuit".
+	Packages []string `json:"packages"`
+	// Seed drives mutant sampling.
+	Seed int64 `json:"seed"`
+	// Budget caps the number of executed mutants per package (0 = all).
+	Budget int `json:"budget"`
+	// TestTimeout bounds each mutant's test run (default 2 minutes).
+	TestTimeout time.Duration `json:"test_timeout"`
+	// Progress, when non-nil, receives one line per executed mutant.
+	Progress func(string) `json:"-"`
+}
+
+// SourcePackageReport aggregates one package's mutants.
+type SourcePackageReport struct {
+	Package string `json:"package"`
+	// Sites is the total number of enumerable mutation sites.
+	Sites    int `json:"sites"`
+	Executed int `json:"executed"`
+	Killed   int `json:"killed"`
+	Survived int `json:"survived"`
+	Timeout  int `json:"timeout"`
+	Invalid  int `json:"invalid"`
+	// Score = (Killed + Timeout) / (Killed + Timeout + Survived).
+	Score float64 `json:"score"`
+	// Survivors lists the mutants the test suite missed — the work list
+	// for new tests, and the triage input for the baseline.
+	Survivors []SourceResult `json:"survivors,omitempty"`
+}
+
+// SourceReport is the full source-level mutation run.
+type SourceReport struct {
+	Seed     int64                 `json:"seed"`
+	Budget   int                   `json:"budget"`
+	Packages []SourcePackageReport `json:"packages"`
+	// Score is the aggregate over all packages.
+	Score float64 `json:"score"`
+}
+
+// RunSource executes the source mutation campaign: for every package,
+// enumerate sites, sample to budget, and for each mutant compile with
+// `go build -overlay` and run the package tests under the timeout.
+func RunSource(cfg SourceConfig) (*SourceReport, error) {
+	if cfg.TestTimeout <= 0 {
+		cfg.TestTimeout = 2 * time.Minute
+	}
+	if cfg.ModRoot == "" {
+		cfg.ModRoot = "."
+	}
+	tmp, err := os.MkdirTemp("", "mutate-src-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	rep := &SourceReport{Seed: cfg.Seed, Budget: cfg.Budget}
+	totKilled, totDenom := 0, 0
+	for _, pkg := range cfg.Packages {
+		files, refs, err := packageSites(cfg.ModRoot, pkg)
+		if err != nil {
+			return nil, err
+		}
+		pr := SourcePackageReport{Package: pkg, Sites: len(refs)}
+		sample := sampleRefs(refs, cfg.Seed+int64(stringHash(pkg)), cfg.Budget)
+		for i, ref := range sample {
+			sf := files[ref.file]
+			mut := sf.sites[ref.site].mutant
+			mutPath := filepath.Join(tmp, fmt.Sprintf("m%d.go", i))
+			if err := mutateToFile(sf, ref.site, mutPath); err != nil {
+				return nil, fmt.Errorf("mutation: render %s: %w", mut, err)
+			}
+			overlay := filepath.Join(tmp, fmt.Sprintf("ov%d.json", i))
+			if err := writeOverlay(overlay, sf.absPath, mutPath); err != nil {
+				return nil, err
+			}
+			res := runOneMutant(cfg, pkg, overlay, mut)
+			pr.Executed++
+			switch res.Outcome {
+			case Killed:
+				pr.Killed++
+			case Timeout:
+				pr.Timeout++
+			case Survived:
+				pr.Survived++
+				pr.Survivors = append(pr.Survivors, res)
+			case Invalid:
+				pr.Invalid++
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("[%d/%d] %s %s: %s", i+1, len(sample), pkg, mut, res.Outcome))
+			}
+		}
+		if denom := pr.Killed + pr.Timeout + pr.Survived; denom > 0 {
+			pr.Score = float64(pr.Killed+pr.Timeout) / float64(denom)
+			totKilled += pr.Killed + pr.Timeout
+			totDenom += denom
+		}
+		rep.Packages = append(rep.Packages, pr)
+	}
+	if totDenom > 0 {
+		rep.Score = float64(totKilled) / float64(totDenom)
+	}
+	return rep, nil
+}
+
+// writeOverlay emits a go-build overlay file mapping orig to mutated.
+func writeOverlay(path, orig, mutated string) error {
+	absOrig, err := filepath.Abs(orig)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(map[string]map[string]string{
+		"Replace": {absOrig: mutated},
+	})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runOneMutant builds and tests one mutant through the overlay.
+func runOneMutant(cfg SourceConfig, pkg, overlay string, mut SourceMutant) SourceResult {
+	res := SourceResult{Mutant: mut}
+	target := "./" + filepath.ToSlash(pkg)
+
+	// Compile first: a mutant that does not build is not a valid mutant.
+	build := exec.Command("go", "build", "-overlay", overlay, target)
+	build.Dir = cfg.ModRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		res.Outcome = Invalid
+		res.Detail = firstLine(out)
+		return res
+	}
+
+	// Grace period on top of go test's own -timeout so the panic traceback
+	// (which is itself a kill signal) normally wins over the hard kill.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.TestTimeout+30*time.Second)
+	defer cancel()
+	test := exec.CommandContext(ctx, "go", "test", "-overlay", overlay, "-count=1",
+		fmt.Sprintf("-timeout=%s", cfg.TestTimeout), target)
+	test.Dir = cfg.ModRoot
+	out, err := test.CombinedOutput()
+	switch {
+	case err == nil:
+		res.Outcome = Survived
+	case ctx.Err() != nil || bytes.Contains(out, []byte("test timed out")):
+		res.Outcome = Timeout
+	default:
+		res.Outcome = Killed
+		res.Detail = failureLine(out)
+	}
+	return res
+}
+
+func firstLine(out []byte) string {
+	s := strings.TrimSpace(string(out))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// failureLine extracts the most informative line from failing test output:
+// the first "--- FAIL" (which test died) or panic line.
+func failureLine(out []byte) string {
+	for _, line := range strings.Split(string(out), "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "--- FAIL") || strings.HasPrefix(t, "panic:") {
+			return t
+		}
+	}
+	return firstLine(out)
+}

@@ -1,0 +1,223 @@
+package mutation
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+const sampleSrc = `package sample
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SumTo adds the first few naturals, bailing out early on negative n.
+func SumTo(n int) int {
+	s := 0
+	if n < 0 {
+		return 0
+	}
+	for i := 0; i < 8; i++ {
+		s = s + i
+	}
+	return s
+}
+
+func flag(a, b bool) bool { return a && b }
+
+func note(s string) string { return "n:" + s }
+
+func early(p *int) {
+	if p == nil {
+		return
+	}
+	*p++
+}
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.go")
+	if err := os.WriteFile(path, []byte(sampleSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseSourceFileSites(t *testing.T) {
+	path := writeSample(t)
+	sf, err := parseSourceFile(path, "sample.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]int{}
+	for _, s := range sf.sites {
+		byOp[s.mutant.Op]++
+	}
+	// Every operator family must fire on the sample.
+	for _, op := range []string{OpCondBoundary, OpNegateCond, OpArith, OpLogic, OpOffByOne, OpDropReturn} {
+		if byOp[op] == 0 {
+			t.Errorf("operator %s found no sites; got %v", op, byOp)
+		}
+	}
+	// String concatenation must NOT be an arith site: note()'s "+" on
+	// strings has no arithmetic partner, so the only arith site is s + i.
+	if byOp[OpArith] != 1 {
+		t.Errorf("arith sites = %d, want 1 (s + i only; string + must be skipped)", byOp[OpArith])
+	}
+	// Only the loop-condition literal 8 is an off-by-one site; the init 0
+	// and other literals are not.
+	if byOp[OpOffByOne] != 1 {
+		t.Errorf("off-by-one sites = %d, want 1 (the loop bound 8)", byOp[OpOffByOne])
+	}
+	// Determinism: re-parsing yields the identical site list.
+	sf2, err := parseSourceFile(path, "sample.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m1, m2 []SourceMutant
+	for _, s := range sf.sites {
+		m1 = append(m1, s.mutant)
+	}
+	for _, s := range sf2.sites {
+		m2 = append(m2, s.mutant)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("site enumeration not deterministic:\n%v\n%v", m1, m2)
+	}
+}
+
+func TestMutateUndoRoundTrip(t *testing.T) {
+	path := writeSample(t)
+	sf, err := parseSourceFile(path, "sample.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := sf.render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "mut.go")
+	for i, s := range sf.sites {
+		if err := mutateToFile(sf, i, dst); err != nil {
+			t.Fatalf("site %d (%s): %v", i, s.mutant, err)
+		}
+		mut, err := os.ReadFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(mut, orig) {
+			t.Errorf("site %d (%s): mutant identical to original", i, s.mutant)
+		}
+		after, err := sf.render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(after, orig) {
+			t.Fatalf("site %d (%s): undo did not restore the AST", i, s.mutant)
+		}
+	}
+}
+
+func TestSampleRefsDeterministic(t *testing.T) {
+	refs := make([]siteRef, 20)
+	for i := range refs {
+		refs[i] = siteRef{file: 0, site: i}
+	}
+	a := sampleRefs(refs, 9, 7)
+	b := sampleRefs(refs, 9, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed sampled differently: %v vs %v", a, b)
+	}
+	if len(a) != 7 {
+		t.Fatalf("budget 7 gave %d refs", len(a))
+	}
+}
+
+// TestRunSourceSmoke exercises the full overlay pipeline against a tiny
+// hermetic module: one package, one deliberately weak test. The eq-swap and
+// boundary mutants in Abs must be killed; the mutants in the untested Dead
+// function must survive. This is the end-to-end proof that kills and
+// survivals are both observable.
+func TestRunSourceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build/test subprocesses")
+	}
+	mod := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module smoke\n\ngo 1.21\n")
+	if err := os.Mkdir(filepath.Join(mod, "lib"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(filepath.Join("lib", "lib.go"), `package lib
+
+func Abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func Dead(v int) int {
+	if v > 10 {
+		return 10
+	}
+	return v
+}
+`)
+	write(filepath.Join("lib", "lib_test.go"), `package lib
+
+import "testing"
+
+func TestAbs(t *testing.T) {
+	if Abs(-3) != 3 || Abs(4) != 4 {
+		t.Fatal("abs broken")
+	}
+}
+`)
+	rep, err := RunSource(SourceConfig{
+		ModRoot:     mod,
+		Packages:    []string{"lib"},
+		Seed:        1,
+		Budget:      0, // all sites
+		TestTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Packages) != 1 {
+		t.Fatalf("got %d package reports", len(rep.Packages))
+	}
+	pr := rep.Packages[0]
+	if pr.Killed == 0 {
+		t.Fatalf("no mutants killed — the Abs test should catch its mutants: %+v", pr)
+	}
+	if pr.Survived == 0 {
+		t.Fatalf("no mutants survived — the untested Dead function should leak survivors: %+v", pr)
+	}
+	for _, s := range pr.Survivors {
+		if s.Outcome != Survived {
+			t.Errorf("survivor list holds non-survivor: %+v", s)
+		}
+	}
+	if pr.Score <= 0 || pr.Score >= 1 {
+		t.Errorf("score = %v, want strictly between 0 and 1", pr.Score)
+	}
+}

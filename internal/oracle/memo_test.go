@@ -1,6 +1,9 @@
 package oracle
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"logicregression/internal/bitvec"
@@ -129,3 +132,90 @@ func TestMemoCapacityValidation(t *testing.T) {
 	}()
 	NewMemoCap(&countingOracle{}, 0)
 }
+
+// TestMemoConcurrentStress hammers one shared Memo from many goroutines with
+// overlapping keys, mixed scalar/word/batch queries, live stats reads, and a
+// capacity small enough to force constant eviction. Run under -race this is
+// the regression test for the sharded LRU's locking; functionally every
+// answer must still match the inner oracle.
+func TestMemoConcurrentStress(t *testing.T) {
+	// The inner oracle must itself be race-free: Memo evaluates misses
+	// outside the shard locks by design, so countingOracle's unguarded
+	// counter would be a false positive here.
+	inner := statelessOracle{}
+	m := NewMemoCap(inner, 8) // tiny: every shard evicts continuously
+
+	const workers = 8
+	const rounds = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				switch rng.Intn(4) {
+				case 0:
+					a := assign3(rng.Intn(8))
+					want := inner.Eval(a)
+					if got := m.Eval(a); got[0] != want[0] {
+						errs <- fmt.Errorf("Eval(%v) = %v, want %v", a, got, want)
+						return
+					}
+				case 1:
+					in := []uint64{rng.Uint64(), rng.Uint64(), rng.Uint64()}
+					got := m.EvalWords(in)
+					want := in[0] ^ in[1] | in[2]
+					if got[0] != want {
+						errs <- fmt.Errorf("EvalWords(%x) = %x, want %x", in, got[0], want)
+						return
+					}
+				case 2:
+					n := 1 + rng.Intn(130) // spans partial and multi-word batches
+					lanes := make([]bitvec.Word, 3*Words(n))
+					for i := range lanes {
+						lanes[i] = bitvec.Word(rng.Uint64())
+					}
+					out := EvalBatch(m, lanes, n)
+					words := Words(n)
+					for k := 0; k < n; k++ {
+						w, bit := k/64, uint(k%64)
+						a := []bool{
+							lanes[0*words+w]>>bit&1 == 1,
+							lanes[1*words+w]>>bit&1 == 1,
+							lanes[2*words+w]>>bit&1 == 1,
+						}
+						want := inner.Eval(a)[0]
+						if got := out[w]>>bit&1 == 1; got != want {
+							errs <- fmt.Errorf("EvalBatch pattern %d = %v, want %v", k, got, want)
+							return
+						}
+					}
+				default:
+					// Stats and Len walk every shard; they must be safe
+					// against concurrent mutation.
+					_ = m.Hits() + m.Misses() + m.Evictions() + int64(m.Len())
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if m.Len() > 8 {
+		t.Errorf("cache holds %d entries, capacity 8", m.Len())
+	}
+}
+
+// statelessOracle is countingOracle's function without the call counter, so
+// concurrent cache misses do not race on the oracle itself.
+type statelessOracle struct{}
+
+func (statelessOracle) NumInputs() int        { return 3 }
+func (statelessOracle) NumOutputs() int       { return 1 }
+func (statelessOracle) InputNames() []string  { return []string{"a", "b", "c"} }
+func (statelessOracle) OutputNames() []string { return []string{"z"} }
+func (statelessOracle) Eval(a []bool) []bool  { return []bool{a[0] != a[1] || a[2]} }

@@ -20,9 +20,22 @@ func SynthesizeFactored(c *circuit.Circuit, cv Cover, vars []circuit.Signal, neg
 	lits := newLitSignals(c, vars)
 	out := factor(c, cv.Clone(), lits)
 	if negate {
-		out = c.NotGate(out)
+		out = negSignal(c, out)
 	}
 	return out
+}
+
+// negSignal complements a signal, folding constants so an empty or universal
+// cover under the offset option yields CONST1/CONST0 instead of a
+// NOT-of-constant gate (a const-fanin lint finding).
+func negSignal(c *circuit.Circuit, s circuit.Signal) circuit.Signal {
+	switch c.Node(s).Type {
+	case circuit.Const0:
+		return c.Const(true)
+	case circuit.Const1:
+		return c.Const(false)
+	}
+	return c.NotGate(s)
 }
 
 // litSignals caches the signal of every literal so complemented variables

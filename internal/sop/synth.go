@@ -22,7 +22,7 @@ func Synthesize(c *circuit.Circuit, cv Cover, vars []circuit.Signal, negate bool
 	}
 	out := c.OrTree(terms)
 	if negate {
-		out = c.NotGate(out)
+		out = negSignal(c, out)
 	}
 	return out
 }
