@@ -4,6 +4,17 @@
 //
 //	iogen -case case_16 -listen 127.0.0.1:9000
 //	iogen -netlist golden.net -listen :9000
+//
+// For fault drills the served black box and the transport can both
+// misbehave on a deterministic, seeded schedule:
+//
+//	iogen -case case_7 -chaos-err-rate 0.05 -chaos-drop-after 40
+//	iogen -case case_7 -chaos-fail-after 10000          # dies permanently
+//	iogen -case case_7 -chaos-flip-rate 0.001           # silent wrong bits
+//
+// A resilient learner (logicreg -remote) must absorb the transient classes
+// byte-identically, degrade cleanly on permanent death, and catch flipped
+// bits in its final accuracy check.
 package main
 
 import (
@@ -11,8 +22,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"logicregression/internal/cases"
+	"logicregression/internal/chaos"
 	"logicregression/internal/circuit"
 	"logicregression/internal/ioserve"
 	"logicregression/internal/oracle"
@@ -20,10 +33,21 @@ import (
 
 func main() {
 	var (
-		caseName = flag.String("case", "", "built-in case name (case_1..case_20)")
-		netlist  = flag.String("netlist", "", "netlist file to serve")
-		listen   = flag.String("listen", "127.0.0.1:9000", "listen address")
-		proto    = flag.Int("proto", 2, "highest protocol version to speak (1 = v1-only line protocol, 2 = allow batch framing)")
+		caseName    = flag.String("case", "", "built-in case name (case_1..case_20)")
+		netlist     = flag.String("netlist", "", "netlist file to serve")
+		listen      = flag.String("listen", "127.0.0.1:9000", "listen address")
+		proto       = flag.Int("proto", 2, "highest protocol version to speak (1 = v1-only line protocol, 2 = allow batch framing)")
+		readTimeout = flag.Duration("read-timeout", 2*time.Minute, "per-read deadline on client connections (0 = none); a stuck client is dropped instead of pinning a handler")
+
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the injected-fault schedule")
+		chaosErrRate  = flag.Float64("chaos-err-rate", 0, "probability per query exchange of an injected transient error reply")
+		chaosLatency  = flag.Duration("chaos-latency", 0, "added latency per query exchange")
+		chaosFail     = flag.Int64("chaos-fail-after", 0, "kill the black box permanently after N query exchanges (0 = never)")
+		chaosFlip     = flag.Float64("chaos-flip-rate", 0, "probability per output bit of silently flipping the answer")
+		chaosDrop     = flag.Int("chaos-drop-after", 0, "drop each connection after N reply writes (0 = never)")
+		chaosHang     = flag.Int("chaos-hang-after", 0, "hang each connection after N reply writes (0 = never)")
+		chaosTruncate = flag.Int("chaos-truncate-after", 0, "truncate a reply and close after N reply writes (0 = never)")
+		chaosCorrupt  = flag.Int("chaos-corrupt-after", 0, "corrupt reply bytes after N reply writes (0 = never)")
 	)
 	flag.Parse()
 
@@ -54,12 +78,38 @@ func main() {
 		os.Exit(1)
 	}
 
+	oracleChaos := chaos.Config{
+		Seed:      *chaosSeed,
+		ErrRate:   *chaosErrRate,
+		Latency:   *chaosLatency,
+		FailAfter: *chaosFail,
+		FlipRate:  *chaosFlip,
+	}
+	if oracleChaos != (chaos.Config{Seed: *chaosSeed}) {
+		o = chaos.Wrap(o, oracleChaos)
+		fmt.Fprintf(os.Stderr, "iogen: oracle chaos armed (seed=%d err=%g fail-after=%d flip=%g latency=%s)\n",
+			*chaosSeed, *chaosErrRate, *chaosFail, *chaosFlip, *chaosLatency)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
 		os.Exit(1)
 	}
+	connChaos := chaos.ConnConfig{
+		DropAfter:     *chaosDrop,
+		HangAfter:     *chaosHang,
+		TruncateAfter: *chaosTruncate,
+		CorruptAfter:  *chaosCorrupt,
+	}
+	if wrapped := chaos.Listen(ln, connChaos); wrapped != ln {
+		ln = wrapped
+		fmt.Fprintf(os.Stderr, "iogen: transport chaos armed (drop=%d hang=%d truncate=%d corrupt=%d)\n",
+			*chaosDrop, *chaosHang, *chaosTruncate, *chaosCorrupt)
+	}
+
 	srv := ioserve.NewServer(o)
+	srv.ReadTimeout = *readTimeout
 	switch *proto {
 	case 1:
 		srv.V1Only = true

@@ -9,6 +9,14 @@
 //
 //	logicreg -case case_16 -out learned.net
 //	logicreg -netlist golden.net -seed 7 -time 60s -out learned.net
+//	logicreg -remote 127.0.0.1:9000 -oracle-timeout 10s -oracle-retries 12
+//
+// Remote sessions are fault tolerant: transport hiccups are retried with
+// reconnection (-oracle-retries, -oracle-backoff), every query carries an
+// I/O deadline (-oracle-timeout), and answered patterns are memoized so a
+// reconnect resumes instead of re-querying. If the black box dies
+// permanently mid-learn the run degrades: the best-so-far circuit is still
+// written and the report says DEGRADED instead of the process panicking.
 package main
 
 import (
@@ -32,6 +40,10 @@ func main() {
 		netlist   = flag.String("netlist", "", "golden netlist file to treat as the black box")
 		remote    = flag.String("remote", "", "address of a remote iogen black box (host:port)")
 		proto     = flag.Int("proto", 2, "remote protocol to request (2 = batch framing with automatic v1 fallback, 1 = force v1)")
+		oTimeout  = flag.Duration("oracle-timeout", 30e9, "remote per-query I/O deadline and connect timeout")
+		oRetries  = flag.Int("oracle-retries", 8, "remote attempts per query before giving up (degraded run)")
+		oBackoff  = flag.Duration("oracle-backoff", 50e6, "initial retry backoff, doubled per attempt (capped at 2s)")
+		memo      = flag.Bool("memo", false, "memoize black-box responses (always on with -remote: the cache is the reconnect-resume substrate)")
 		outPath   = flag.String("out", "", "output netlist path (default stdout)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeLimit = flag.Duration("time", 0, "learning time limit (0 = none)")
@@ -46,7 +58,14 @@ func main() {
 	)
 	flag.Parse()
 
-	o, closer, err := loadOracle(*caseName, *netlist, *remote, *proto)
+	o, closer, err := loadOracle(*caseName, *netlist, *remote, *proto, ioserve.DialConfig{
+		ConnectTimeout: *oTimeout,
+		IOTimeout:      *oTimeout,
+	}, ioserve.RetryConfig{
+		MaxAttempts: *oRetries,
+		Backoff:     *oBackoff,
+		Seed:        *seed,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "logicreg:", err)
 		os.Exit(1)
@@ -54,9 +73,17 @@ func main() {
 	if closer != nil {
 		defer closer()
 	}
+	// Memoization before validation: the validation probes land in the same
+	// cache the learner reads, so no black-box query is ever paid twice.
+	// For remote sessions the memo doubles as the reconnect-resume
+	// substrate, so it is not optional there.
+	memoize := *memo || *remote != ""
+	if memoize {
+		o = oracle.NewMemo(o)
+	}
 	// One probe query up front: a remote generator with mismatched arity
 	// or a broken frame encoding should fail here, not hours into the run.
-	if err := oracle.Validate(o); err != nil {
+	if err := validate(o); err != nil {
 		fmt.Fprintln(os.Stderr, "logicreg: oracle failed validation:", err)
 		os.Exit(1)
 	}
@@ -84,6 +111,7 @@ func main() {
 		DisablePreprocessing: *noPre,
 		DisableOptimization:  *noOpt,
 		HiddenCompression:    *hidden,
+		MemoizeQueries:       memoize,
 	})
 
 	fmt.Fprintf(os.Stderr, "learned: %s\n", res)
@@ -91,10 +119,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %-24s %-20s support=%-3d cubes=%-5d negated=%-5v truncated=%v\n",
 			or.Name, or.Method, or.Support, or.Cubes, or.Negated, or.Truncated)
 	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "logicreg: black box died mid-learn (%s); writing best-so-far circuit\n",
+			res.DegradedReason)
+	}
 
 	if *selfCheck > 0 {
-		rep := eval.Measure(o, oracle.FromCircuit(res.Circuit), eval.Config{Patterns: *selfCheck, Seed: *seed + 1})
-		fmt.Fprintf(os.Stderr, "self-check: %s\n", rep)
+		if res.Degraded {
+			fmt.Fprintln(os.Stderr, "logicreg: skipping self-check: the black box is unavailable")
+		} else if rep, err := measure(o, res, eval.Config{Patterns: *selfCheck, Seed: *seed + 1}); err != nil {
+			fmt.Fprintln(os.Stderr, "logicreg: self-check aborted:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "self-check: %s\n", rep)
+		}
 	}
 
 	var w io.Writer = os.Stdout
@@ -113,7 +150,37 @@ func main() {
 	}
 }
 
-func loadOracle(caseName, netlist, remote string, proto int) (oracle.Oracle, func(), error) {
+// validate runs oracle.Validate with transport failures as errors instead
+// of panics: a dead remote at startup is an exit-1 message, not a crash.
+func validate(o oracle.Oracle) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			f, ok := rec.(*oracle.Failure)
+			if !ok {
+				panic(rec)
+			}
+			err = f.Err
+		}
+	}()
+	return oracle.Validate(o)
+}
+
+// measure runs the self-check, catching a black box that dies during it.
+func measure(o oracle.Oracle, res *core.Result, cfg eval.Config) (rep eval.Report, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			f, ok := rec.(*oracle.Failure)
+			if !ok {
+				panic(rec)
+			}
+			err = f.Err
+		}
+	}()
+	return eval.Measure(o, oracle.FromCircuit(res.Circuit), cfg), nil
+}
+
+func loadOracle(caseName, netlist, remote string, proto int,
+	dial ioserve.DialConfig, retry ioserve.RetryConfig) (oracle.Oracle, func(), error) {
 	set := 0
 	for _, s := range []string{caseName, netlist, remote} {
 		if s != "" {
@@ -137,22 +204,19 @@ func loadOracle(caseName, netlist, remote string, proto int) (oracle.Oracle, fun
 		}
 		return oracle.FromCircuit(c), nil, nil
 	default:
-		cl, err := ioserve.Dial(remote)
+		if proto != 1 && proto != 2 {
+			return nil, nil, fmt.Errorf("unsupported -proto %d (want 1 or 2)", proto)
+		}
+		cl, err := ioserve.DialResilient(remote, dial, retry)
 		if err != nil {
 			return nil, nil, err
 		}
-		switch proto {
-		case 1:
-			// Forced v1: every query is one line on the wire.
-		case 2:
-			if cl.TryUpgrade() {
-				fmt.Fprintln(os.Stderr, "logicreg: remote speaks protocol v2 (batch framing)")
-			} else {
-				fmt.Fprintln(os.Stderr, "logicreg: remote is v1-only, falling back to line protocol")
-			}
-		default:
-			cl.Close()
-			return nil, nil, fmt.Errorf("unsupported -proto %d (want 1 or 2)", proto)
+		if proto == 1 {
+			cl.ForceV1()
+		} else if cl.Proto() >= 2 {
+			fmt.Fprintln(os.Stderr, "logicreg: remote speaks protocol v2 (batch framing)")
+		} else {
+			fmt.Fprintln(os.Stderr, "logicreg: remote is v1-only, falling back to line protocol")
 		}
 		return cl, func() { cl.Close() }, nil
 	}

@@ -11,6 +11,9 @@
 //	            truncated circuit corrupts everything downstream)
 //	errcompare  errors are matched with errors.Is, never == / != against
 //	            sentinels (%w wrapping breaks identity checks)
+//	nodeadline  network I/O must be time-bounded: net.DialTimeout over
+//	            net.Dial, Set*Deadline before raw conn reads/writes (a
+//	            silent remote black box must not pin a goroutine)
 package analyzers
 
 import (
@@ -22,7 +25,7 @@ import (
 
 // All returns every repo analyzer, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ScalarEval, SeededRand, OrphanErr, ErrCompare}
+	return []*analysis.Analyzer{ScalarEval, SeededRand, OrphanErr, ErrCompare, NoDeadline}
 }
 
 // unparen strips any parentheses around e.

@@ -128,6 +128,10 @@ func TestErrCompareFixture(t *testing.T) {
 	runFixture(t, ErrCompare, "logicregression/fixture/errcompare")
 }
 
+func TestNoDeadlineFixture(t *testing.T) {
+	runFixture(t, NoDeadline, "logicregression/fixture/nodeadline")
+}
+
 // TestRepoIsClean runs every analyzer over the whole module: the rules the
 // analyzers encode are supposed to hold in production code right now.
 func TestRepoIsClean(t *testing.T) {

@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logicregression/internal/analysis"
+)
+
+// NoDeadline flags network I/O with no time bound. The remote-oracle
+// transport must survive a black box that stops answering: a bare net.Dial
+// hangs for the kernel's SYN patience on a dead host, and a raw Read or
+// Write on a connection with no deadline pins its goroutine forever when
+// the peer goes silent. Production code dials with net.DialTimeout and arms
+// SetReadDeadline/SetWriteDeadline before touching the wire (see
+// ioserve.DialConfig); forwarding wrappers that embed net.Conn inherit the
+// deadline discipline of the connection they wrap and are exempt.
+var NoDeadline = &analysis.Analyzer{
+	Name: "nodeadline",
+	Doc: "flags net.Dial and raw net.Conn reads/writes with no deadline in scope " +
+		"(a silent peer pins the goroutine forever); use net.DialTimeout and " +
+		"SetReadDeadline/SetWriteDeadline",
+	Run: runNoDeadline,
+}
+
+// deadlineSetters are the method names that arm a timeout on a connection.
+// A call to any of them anywhere in the function counts as deadline
+// discipline: the common shape is a helper arming the deadline immediately
+// before the Read/Write it protects.
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func runNoDeadline(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeadlines(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkDeadlines reports undisciplined network I/O inside one function.
+func checkDeadlines(pass *analysis.Pass, fd *ast.FuncDecl) {
+	armed := callsDeadlineSetter(fd.Body)
+	wrapper := receiverEmbedsNetConn(pass.TypesInfo, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if sig.Recv() == nil {
+			// Package-level function: only Dial lacks a time bound
+			// (DialTimeout and Dialer carry their own).
+			if fn.Name() == "Dial" {
+				pass.Reportf(call.Pos(), "net.Dial has no connect timeout (a dead host hangs the dial); use net.DialTimeout")
+			}
+			return true
+		}
+		// Method on a net type: a raw Read/Write blocks forever on a
+		// silent peer unless a deadline is armed or the enclosing method
+		// forwards for a wrapper that embeds the (already armed) conn.
+		if (fn.Name() == "Read" || fn.Name() == "Write") && !armed && !wrapper {
+			pass.Reportf(call.Pos(), "raw %s on a net connection without a deadline in scope (a silent peer pins this goroutine); arm SetReadDeadline/SetWriteDeadline first", fn.Name())
+		}
+		return true
+	})
+}
+
+// callsDeadlineSetter reports whether the body contains a call to any
+// Set*Deadline method.
+func callsDeadlineSetter(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineSetters[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// receiverEmbedsNetConn reports whether fd is a method whose receiver
+// struct embeds net.Conn — a forwarding wrapper (chaos.faultConn,
+// ioserve.deadlineConn) whose deadline discipline lives with the wrapped
+// connection, not in each forwarding method.
+func receiverEmbedsNetConn(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if !fld.Embedded() {
+			continue
+		}
+		named, ok := fld.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net" && obj.Name() == "Conn" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import "net"
+
+// BadDial connects with no bound on how long a dead host can hang the SYN.
+func BadDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "use net.DialTimeout"
+}
+
+// BadRead blocks forever when the peer accepts the query and goes silent.
+func BadRead(conn net.Conn) ([]byte, error) {
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf) // want "without a deadline in scope"
+	return buf[:n], err
+}
+
+// BadWrite blocks forever when the peer's window closes and never reopens.
+func BadWrite(conn net.Conn, p []byte) error {
+	_, err := conn.Write(p) // want "without a deadline in scope"
+	return err
+}
+
+// BadConcrete shows the rule also fires on concrete net types, not just the
+// net.Conn interface.
+func BadConcrete(conn *net.TCPConn) error {
+	_, err := conn.Write([]byte("quit\n")) // want "without a deadline in scope"
+	return err
+}

@@ -1,0 +1,49 @@
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+// GoodDial bounds the connect, so a dead host fails fast.
+func GoodDial(addr string, d time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, d)
+}
+
+// GoodRead arms a read deadline first; a silent peer becomes a timeout
+// error instead of a pinned goroutine.
+func GoodRead(conn net.Conn, d time.Duration) ([]byte, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	return buf[:n], err
+}
+
+// GoodWrite arms a write deadline before touching the wire.
+func GoodWrite(conn net.Conn, p []byte, d time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	_, err := conn.Write(p)
+	return err
+}
+
+// forwarder wraps a connection whose deadlines are armed by its owner. The
+// forwarding methods are exempt: deadline discipline lives with the wrapped
+// conn, not in each pass-through.
+type forwarder struct {
+	net.Conn
+	calls int
+}
+
+func (f *forwarder) Read(p []byte) (int, error) {
+	f.calls++
+	return f.Conn.Read(p)
+}
+
+func (f *forwarder) Write(p []byte) (int, error) {
+	f.calls++
+	return f.Conn.Write(p)
+}

@@ -1,0 +1,131 @@
+package chaos
+
+// Connection-level fault injection: a net.Listener wrapper whose accepted
+// connections misbehave on a deterministic schedule. Faults here are below
+// the protocol — the server-side oracle answers honestly, but the bytes get
+// dropped, delayed, truncated or corrupted in flight — so they exercise the
+// client's reconnect-and-resume path rather than its error-reply handling.
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnConfig drives per-connection transport faults. Counts are in reply
+// writes (one write per flushed reply buffer, the greeting included), so
+// the schedule is deterministic without any randomness; 0 disables a
+// fault. Every accepted connection restarts the schedule, which makes a
+// DropAfter listener a relentless churn generator: each session serves a
+// few frames and dies, forever.
+type ConnConfig struct {
+	// DropAfter closes the connection abruptly after this many writes.
+	DropAfter int
+	// HangAfter stops answering after this many writes: reads still
+	// succeed (queries are consumed) but replies block until the peer
+	// gives up. Requires a client-side read deadline to recover.
+	HangAfter int
+	// TruncateAfter cuts the connection mid-write after this many writes:
+	// the peer sees a partial reply line then EOF.
+	TruncateAfter int
+	// CorruptAfter overwrites one byte of the reply with 'X' after this
+	// many writes, desynchronizing the line without dropping the
+	// connection.
+	CorruptAfter int
+	// Latency delays every write.
+	Latency time.Duration
+}
+
+// enabled reports whether any fault is configured.
+func (c ConnConfig) enabled() bool {
+	return c.DropAfter > 0 || c.HangAfter > 0 || c.TruncateAfter > 0 ||
+		c.CorruptAfter > 0 || c.Latency > 0
+}
+
+// Listener wraps a net.Listener with fault-injecting connections.
+type Listener struct {
+	net.Listener
+	cfg ConnConfig
+
+	mu       sync.Mutex
+	accepted int
+}
+
+// Listen wraps ln. When cfg injects nothing the listener is returned
+// unwrapped, so a zero config is exactly the fault-free transport.
+func Listen(ln net.Listener, cfg ConnConfig) net.Listener {
+	if !cfg.enabled() {
+		return ln
+	}
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept hands out the next connection with its own fault schedule.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	l.mu.Unlock()
+	return &faultConn{Conn: conn, cfg: l.cfg, hung: make(chan struct{})}, nil
+}
+
+// faultConn is one connection on a fault schedule. Only writes (replies)
+// fault: greetings count too, so DropAfter includes the two greeting lines.
+type faultConn struct {
+	net.Conn
+	cfg ConnConfig
+
+	mu     sync.Mutex
+	writes int
+	closed bool
+	hung   chan struct{} // closed by Close to release a hanging writer
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.cfg.Latency > 0 {
+		time.Sleep(c.cfg.Latency)
+	}
+	c.mu.Lock()
+	c.writes++
+	w := c.writes
+	c.mu.Unlock()
+
+	switch {
+	case c.cfg.DropAfter > 0 && w > c.cfg.DropAfter:
+		c.Close()
+		return 0, net.ErrClosed
+	case c.cfg.HangAfter > 0 && w > c.cfg.HangAfter:
+		// Swallow the reply and block until the connection dies: the peer
+		// sees a server that accepted the query and went silent. The
+		// timer bounds the handler-goroutine leak when nobody closes us.
+		select {
+		case <-c.hung:
+		case <-time.After(30 * time.Second):
+		}
+		return 0, net.ErrClosed
+	case c.cfg.TruncateAfter > 0 && w > c.cfg.TruncateAfter:
+		if len(p) > 1 {
+			c.Conn.Write(p[:len(p)/2])
+		}
+		c.Close()
+		return 0, net.ErrClosed
+	case c.cfg.CorruptAfter > 0 && w > c.cfg.CorruptAfter:
+		q := append([]byte(nil), p...)
+		q[0] = 'X'
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.hung)
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -121,6 +121,10 @@ const (
 	MethodBitwise Method = "template-bitwise"
 	// MethodAffine is the extended GF(2)-parity family (extension).
 	MethodAffine Method = "template-affine"
+	// MethodDegraded marks an output the learner could not finish because
+	// the black box died permanently mid-learn; it is emitted as a
+	// constant so the netlist stays well-formed.
+	MethodDegraded Method = "degraded"
 )
 
 // OutputReport describes one learned output.
@@ -152,6 +156,39 @@ type Result struct {
 	Size          int
 	// TemplateMatches counts outputs settled by preprocessing.
 	TemplateMatches int
+	// Degraded is set when the black box died permanently mid-learn: the
+	// circuit is the best-so-far result (outputs learned before the death
+	// are intact, the rest are constants marked MethodDegraded) instead of
+	// a crash.
+	Degraded bool
+	// DegradedReason is the transport error that killed the run.
+	DegradedReason string
+}
+
+// catchFailure runs f, recovering a *oracle.Failure panic — the typed
+// payload strict oracle adapters throw on permanent transport failure —
+// into a value. Any other panic is a bug and keeps unwinding.
+func catchFailure(f func()) (failure *oracle.Failure) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			of, ok := rec.(*oracle.Failure)
+			if !ok {
+				panic(rec)
+			}
+			failure = of
+		}
+	}()
+	f()
+	return nil
+}
+
+// degrade records a permanent black-box death on the result (first reason
+// wins).
+func (r *Result) degrade(f *oracle.Failure) {
+	if !r.Degraded {
+		r.Degraded = true
+		r.DegradedReason = f.Err.Error()
+	}
 }
 
 // Learn runs the full pipeline against the black box.
@@ -165,21 +202,29 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var learnFrom oracle.Oracle = o
 	if opts.MemoizeQueries {
-		learnFrom = oracle.NewMemo(o)
+		if _, already := o.(*oracle.Memo); !already {
+			learnFrom = oracle.NewMemo(o)
+		}
 	}
 	counter := oracle.NewCounter(learnFrom)
 
 	res := &Result{}
 	nOut := o.NumOutputs()
 
-	// Steps 1-2: name based grouping + template matching.
+	// Steps 1-2: name based grouping + template matching. A black box that
+	// dies this early degrades the whole run: no template is trusted and
+	// every output falls through to the (equally dead) learner below,
+	// which emits constants.
 	var matches template.Matches
 	if !opts.DisablePreprocessing {
 		tcfg := opts.Template
 		if opts.ExtendedTemplates {
 			tcfg.ExtendedTemplates = true
 		}
-		matches = template.Detect(counter, tcfg, rng)
+		if f := catchFailure(func() { matches = template.Detect(counter, tcfg, rng) }); f != nil {
+			res.degrade(f)
+			matches = template.Matches{}
+		}
 	}
 	compByOut := make(map[int]template.CompMatch)
 	for _, cm := range matches.Comparators {
@@ -286,20 +331,41 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 			res.TemplateMatches++
 		default:
 			if r, ok := parallelResults[po]; ok {
-				sig = circuit.CopyCone(c, piSigs, r.scratch, 0)
-				rep, sup = r.rep, r.sup
-			} else {
+				if r.failure != nil {
+					res.degrade(r.failure)
+					sig = c.Const(false)
+					rep.Method = MethodDegraded
+				} else {
+					sig = circuit.CopyCone(c, piSigs, r.scratch, 0)
+					rep, sup = r.rep, r.sup
+				}
+			} else if res.Degraded {
+				// The black box is already known dead: don't waste the
+				// remaining outputs on queries that cannot succeed.
+				sig = c.Const(false)
+				rep.Method = MethodDegraded
+			} else if f := catchFailure(func() {
 				sig, rep, sup = learnOutput(c, counter, po, piSigs, inG, opts, deadline, rng)
-				rep.Name = outNames[po]
+			}); f != nil {
+				res.degrade(f)
+				sig = c.Const(false)
+				rep = OutputReport{Method: MethodDegraded}
 			}
+			rep.Name = outNames[po]
 		}
 		c.AddPO(outNames[po], sig)
 		supports[po] = sup
 		res.Outputs = append(res.Outputs, rep)
 	}
 
-	if opts.RefineRounds > 0 {
-		refine(c, counter, res.Outputs, supports, opts, deadline, rng)
+	if opts.RefineRounds > 0 && !res.Degraded {
+		// A death mid-refinement keeps the current circuit: every
+		// SetPODriver so far was a completed improvement.
+		if f := catchFailure(func() {
+			refine(c, counter, res.Outputs, supports, opts, deadline, rng)
+		}); f != nil {
+			res.degrade(f)
+		}
 	}
 
 	res.SizeBeforeOpt = c.Size()
@@ -509,6 +575,10 @@ func tryCompressed(c *circuit.Circuit, counter *oracle.Counter, po int, piSigs [
 
 // String renders a result summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("size=%d (pre-opt %d), queries=%d, templates=%d/%d, elapsed=%s",
+	s := fmt.Sprintf("size=%d (pre-opt %d), queries=%d, templates=%d/%d, elapsed=%s",
 		r.Size, r.SizeBeforeOpt, r.Queries, r.TemplateMatches, len(r.Outputs), r.Elapsed.Round(time.Millisecond))
+	if r.Degraded {
+		s += fmt.Sprintf(" DEGRADED (%s)", r.DegradedReason)
+	}
+	return s
 }

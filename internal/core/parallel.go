@@ -34,6 +34,11 @@ type outputResult struct {
 	scratch *circuit.Circuit // single-PO circuit over the golden PIs
 	rep     OutputReport
 	sup     []int
+	// failure records a permanent black-box death during this output's
+	// learn. A panic must not escape the worker goroutine (it would kill
+	// the process, not the learn), so it is carried back as a value and
+	// the assembler degrades the result.
+	failure *oracle.Failure
 }
 
 // learnOutputsParallel learns the given outputs with opts.Parallel workers
@@ -61,7 +66,15 @@ func learnOutputsParallel(counter *oracle.Counter, jobs []outputJob, inG names.G
 				for i, name := range counter.InputNames() {
 					piSigs[i] = scratch.AddPI(name)
 				}
-				sig, rep, sup := learnOutput(scratch, counter, job.po, piSigs, inG, opts, deadline, rng)
+				var sig circuit.Signal
+				var rep OutputReport
+				var sup []int
+				if f := catchFailure(func() {
+					sig, rep, sup = learnOutput(scratch, counter, job.po, piSigs, inG, opts, deadline, rng)
+				}); f != nil {
+					out <- outputResult{po: job.po, failure: f}
+					continue
+				}
 				rep.Name = job.name
 				scratch.AddPO(job.name, sig)
 				out <- outputResult{po: job.po, scratch: scratch, rep: rep, sup: sup}

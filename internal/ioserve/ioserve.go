@@ -32,16 +32,38 @@
 // automatically, so new clients interoperate with old servers and vice
 // versa. Batch frames amortize one network round trip over k queries; the
 // Client chunks large EvalBatch calls into frames of at most MaxFrame.
+//
+// # Failure model
+//
+// Error replies carry a severity prefix so clients can tell a fault they
+// should retry from one they must surface (see DESIGN.md "failure model"):
+//
+//	"error: transient: <msg>"  — the query failed but the session is intact;
+//	                             re-issuing the same query may succeed
+//	"error: fatal: <msg>"      — the black box is permanently unavailable;
+//	                             the server closes the connection after this
+//	"error: <msg>"             — the query itself was malformed (a client
+//	                             bug, not a transport fault)
+//
+// A server whose oracle implements oracle.Fallible maps transient errors to
+// "error: transient:" lines and permanent errors to "error: fatal:" lines;
+// infallible oracles never produce either. On the client side, Client turns
+// transport failures into errors tagged transient (timeouts, resets, dropped
+// connections, desynchronized replies) or left permanent ("error: fatal:",
+// rejected well-formed queries); ResilientClient retries the transient class
+// with reconnection and capped backoff.
 package ioserve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"logicregression/internal/bitvec"
 	"logicregression/internal/oracle"
@@ -57,6 +79,49 @@ const MaxFrame = 1 << 14
 // enough to amortize round trips.
 const v1PipelineChunk = 64
 
+// defaultMaxReply caps the length of a single reply line (and, server-side,
+// a single query line) unless DialConfig.MaxReply overrides it.
+const defaultMaxReply = 1 << 20
+
+// Sentinel errors of the client lifecycle.
+var (
+	// ErrClientClosed is returned by operations on a closed client.
+	ErrClientClosed = errors.New("ioserve: client is closed")
+	// ErrServerChanged is returned (fatally) when a reconnect reaches a
+	// server whose port-name greeting differs from the original session's:
+	// the black box changed under us and cached answers would be lies.
+	ErrServerChanged = errors.New("ioserve: server identity changed across reconnect")
+)
+
+// wireTransientError is an "error: transient:" reply: the query failed
+// server-side but the connection is still synchronized, so the caller may
+// retry in place without redialing.
+type wireTransientError struct {
+	msg string
+}
+
+func (e *wireTransientError) Error() string { return "ioserve: " + e.msg }
+
+// isWireTransient reports whether err is a retry-in-place server reply.
+func isWireTransient(err error) bool {
+	var we *wireTransientError
+	return errors.As(err, &we)
+}
+
+// transportErr tags a connection-level failure for the retry layer: almost
+// everything (timeouts, resets, EOF, desynchronized streams) is transient —
+// a fresh connection may succeed — except our own net.ErrClosed, which means
+// the client was torn down locally on purpose.
+func transportErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return oracle.Transient(err)
+}
+
 // Server serves a wrapped oracle to any number of concurrent clients.
 //
 // Connections do not serialize each other when the oracle can hand out
@@ -71,6 +136,13 @@ type Server struct {
 	// and "batch" commands get "error:" replies. Useful for testing client
 	// fallback and for byte-exact contest emulation.
 	V1Only bool
+
+	// ReadTimeout, when positive, arms a fresh read deadline before every
+	// read on a client connection: a client that stops mid-frame (or never
+	// sends anything) is dropped instead of pinning its handler goroutine
+	// forever. Combined with the MaxFrame guard and the bounded line
+	// scanner this caps the resources any one connection can hold.
+	ReadTimeout time.Duration
 }
 
 // NewServer wraps an oracle for serving.
@@ -88,9 +160,35 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// deadlineConn arms a read deadline before every Read so a silent peer
+// cannot block a handler forever. Write deadlines ride along: a peer that
+// stops draining replies stalls the same way a silent sender does.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	s.serveStream(conn)
+	var stream io.ReadWriter = conn
+	if s.ReadTimeout > 0 {
+		stream = &deadlineConn{Conn: conn, timeout: s.ReadTimeout}
+	}
+	s.serveStream(stream)
 }
 
 // serveStream speaks the wire protocol over any byte stream. Separating it
@@ -105,20 +203,20 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 		o = f.Fork()
 		locked = false
 	}
-	batch := oracle.AsBatch(o)
-	evalScalar := func(a []bool) []bool {
+	fo := oracle.AsFallible(o)
+	evalScalar := func(a []bool) ([]bool, error) {
 		if locked {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 		}
-		return o.Eval(a)
+		return fo.TryEval(a)
 	}
-	evalBatch := func(lanes []bitvec.Word, n int) []bitvec.Word {
+	evalBatch := func(lanes []bitvec.Word, n int) ([]bitvec.Word, error) {
 		if locked {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 		}
-		return batch.EvalBatch(lanes, n)
+		return fo.TryEvalBatch(lanes, n)
 	}
 
 	w := bufio.NewWriter(conn)
@@ -129,12 +227,22 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 	}
 	nIn := o.NumInputs()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc.Buffer(make([]byte, 1<<16), defaultMaxReply)
 	reply := func(line string) bool {
 		if _, err := w.WriteString(line + "\n"); err != nil {
 			return false
 		}
 		return w.Flush() == nil
+	}
+	// replyEvalErr renders an oracle failure on the wire; it returns false
+	// when the connection must be dropped (write failure or a permanently
+	// dead oracle).
+	replyEvalErr := func(err error) bool {
+		if oracle.IsTransient(err) {
+			return reply(fmt.Sprintf("error: transient: %v", err))
+		}
+		reply(fmt.Sprintf("error: fatal: %v", err))
+		return false
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -199,7 +307,13 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 				}
 				continue
 			}
-			out := evalBatch(lanes, k)
+			out, err := evalBatch(lanes, k)
+			if err != nil {
+				if !replyEvalErr(err) {
+					return
+				}
+				continue
+			}
 			fmt.Fprintf(w, "batch %d\n", k)
 			nOut := o.NumOutputs()
 			buf := make([]byte, nOut)
@@ -226,7 +340,14 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 				}
 				continue
 			}
-			if !reply(formatBits(evalScalar(assign))) {
+			res, err := evalScalar(assign)
+			if err != nil {
+				if !replyEvalErr(err) {
+					return
+				}
+				continue
+			}
+			if !reply(formatBits(res)) {
 				return
 			}
 		}
@@ -262,33 +383,66 @@ func formatBits(bits []bool) string {
 	return string(buf)
 }
 
+// DialConfig bounds a client session's patience. The zero value preserves
+// the historical behaviour: no connect timeout, no I/O deadlines, a 1 MiB
+// reply-line cap.
+type DialConfig struct {
+	// ConnectTimeout bounds the TCP dial (0 = wait forever).
+	ConnectTimeout time.Duration
+	// IOTimeout is armed as a fresh deadline before every read and every
+	// flush: a server that stops answering mid-session surfaces as a
+	// timeout error instead of silently eating the learner's time budget
+	// (0 = no deadlines).
+	IOTimeout time.Duration
+	// MaxReply caps a single reply line in bytes (0 = 1 MiB). Oversized
+	// replies fail the session instead of growing the buffer unboundedly.
+	MaxReply int
+}
+
 // Client is an Oracle (and BatchOracle) backed by a remote ioserve server.
 // It is safe for sequential use only (the learner is single-threaded per the
-// contest rules).
+// contest rules). Transport failures panic with *oracle.Failure from the
+// Oracle-interface methods and return errors from the TryEval family; for
+// automatic retry and reconnection use ResilientClient.
 type Client struct {
 	conn     net.Conn
+	cfg      DialConfig
 	r        *bufio.Scanner
 	w        *bufio.Writer
 	ins      []string
 	outs     []string
 	proto    int   // negotiated protocol version: 1 until TryUpgrade succeeds
-	queryErr error // first transport error; subsequent Evals panic with it
+	v1Chunk  int   // v1 pipeline depth override (0 = v1PipelineChunk)
+	queryErr error // first transport error; the session is dead once set
+	closed   bool
 }
 
-// Dial connects to a server and reads the port-name greeting. The session
-// starts at protocol v1; call TryUpgrade to negotiate v2 batch framing.
+// Dial connects to a server and reads the port-name greeting, with no
+// deadlines (the historical default). The session starts at protocol v1;
+// call TryUpgrade to negotiate v2 batch framing.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialConfig{})
+}
+
+// DialWith connects with explicit timeout bounds. Every error path closes
+// the connection: a failed negotiation never leaks a file descriptor.
+func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, cfg.ConnectTimeout)
 	if err != nil {
-		return nil, err
+		return nil, transportErr(err)
 	}
 	c := &Client{
 		conn:  conn,
+		cfg:   cfg,
 		r:     bufio.NewScanner(conn),
 		w:     bufio.NewWriter(conn),
 		proto: 1,
 	}
-	c.r.Buffer(make([]byte, 1<<16), 1<<20)
+	maxReply := cfg.MaxReply
+	if maxReply <= 0 {
+		maxReply = defaultMaxReply
+	}
+	c.r.Buffer(make([]byte, 1<<16), maxReply)
 	ins, err := c.readHeader("inputs")
 	if err != nil {
 		conn.Close()
@@ -304,23 +458,33 @@ func Dial(addr string) (*Client, error) {
 }
 
 // DialV2 dials and negotiates protocol v2, transparently falling back to v1
-// when the server predates batch framing.
+// when the server predates batch framing. Negotiation failures close the
+// connection.
 func DialV2(addr string) (*Client, error) {
-	c, err := Dial(addr)
+	return DialV2With(addr, DialConfig{})
+}
+
+// DialV2With is DialV2 with explicit timeout bounds.
+func DialV2With(addr string, cfg DialConfig) (*Client, error) {
+	c, err := DialWith(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
-	c.TryUpgrade()
+	if _, err := c.tryUpgradeErr(); err != nil {
+		c.conn.Close()
+		return nil, err
+	}
 	return c, nil
 }
 
 func (c *Client) readHeader(keyword string) ([]string, error) {
-	if !c.r.Scan() {
-		return nil, fmt.Errorf("ioserve: connection closed during greeting")
+	line, err := c.readLineErr()
+	if err != nil {
+		return nil, fmt.Errorf("ioserve: reading %s greeting: %w", keyword, err)
 	}
-	fields := strings.Fields(c.r.Text())
+	fields := strings.Fields(line)
 	if len(fields) < 1 || fields[0] != keyword {
-		return nil, fmt.Errorf("ioserve: expected %q line, got %q", keyword, c.r.Text())
+		return nil, transportErr(fmt.Errorf("ioserve: expected %q line, got %q", keyword, line))
 	}
 	return fields[1:], nil
 }
@@ -329,40 +493,68 @@ func (c *Client) readHeader(keyword string) ([]string, error) {
 // an "error:" line (the probe parses as a malformed query there), which is
 // the downgrade signal — the session stays on v1 and remains fully usable.
 // Safe to call multiple times; returns whether the session speaks v2.
+// Transport failures panic with *oracle.Failure.
 func (c *Client) TryUpgrade() bool {
+	ok, err := c.tryUpgradeErr()
+	if err != nil {
+		panic(oracle.NewFailure(err))
+	}
+	return ok
+}
+
+// tryUpgradeErr is the error-returning upgrade negotiation.
+func (c *Client) tryUpgradeErr() (bool, error) {
 	if c.proto >= 2 {
-		return true
+		return true, nil
 	}
-	if c.queryErr != nil {
-		panic(c.queryErr)
+	if err := c.usable(); err != nil {
+		return false, err
 	}
-	if _, err := c.w.WriteString("proto 2\n"); err != nil {
-		c.fail(err)
+	if err := c.send("proto 2\n"); err != nil {
+		return false, err
 	}
-	if err := c.w.Flush(); err != nil {
-		c.fail(err)
+	line, err := c.readLineErr()
+	if err != nil {
+		return false, err
 	}
-	line := c.readLine()
 	switch {
 	case line == "ok 2":
 		c.proto = 2
-		return true
+		return true, nil
 	case strings.HasPrefix(line, "error:"):
-		return false // old server: stay on v1
+		return false, nil // old server: stay on v1
 	default:
-		c.fail(fmt.Errorf("ioserve: unexpected upgrade reply %q", line))
-		return false
+		return false, c.fail(transportErr(fmt.Errorf("ioserve: unexpected upgrade reply %q", line)))
 	}
 }
 
 // Proto returns the negotiated protocol version (1 or 2).
 func (c *Client) Proto() int { return c.proto }
 
-// Close ends the session politely.
+// Close ends the session politely and reports any error from the farewell
+// write or the close itself. It is idempotent: second and later calls
+// return nil without touching the connection.
 func (c *Client) Close() error {
-	fmt.Fprintln(c.w, "quit")
-	c.w.Flush()
-	return c.conn.Close()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var werr error
+	if c.queryErr == nil {
+		// Only be polite on a healthy session; on a poisoned one the
+		// stream state is unknown and "quit" would just be noise.
+		if _, err := c.w.WriteString("quit\n"); err != nil {
+			werr = err
+		} else {
+			c.armWrite()
+			werr = c.w.Flush()
+		}
+	}
+	cerr := c.conn.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func (c *Client) NumInputs() int        { return len(c.ins) }
@@ -370,71 +562,173 @@ func (c *Client) NumOutputs() int       { return len(c.outs) }
 func (c *Client) InputNames() []string  { return append([]string(nil), c.ins...) }
 func (c *Client) OutputNames() []string { return append([]string(nil), c.outs...) }
 
-// readLine reads one reply line, failing the client on transport errors.
-func (c *Client) readLine() string {
+// usable reports why the session cannot issue queries, if it cannot.
+func (c *Client) usable() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	return c.queryErr
+}
+
+// armRead arms the per-read deadline.
+func (c *Client) armRead() {
+	if c.cfg.IOTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.cfg.IOTimeout))
+	}
+}
+
+// armWrite arms the per-flush deadline.
+func (c *Client) armWrite() {
+	if c.cfg.IOTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
+	}
+}
+
+// send writes and flushes one command, poisoning the session on failure.
+func (c *Client) send(s string) error {
+	if _, err := c.w.WriteString(s); err != nil {
+		return c.fail(transportErr(err))
+	}
+	c.armWrite()
+	if err := c.w.Flush(); err != nil {
+		return c.fail(transportErr(err))
+	}
+	return nil
+}
+
+// readLineErr reads one reply line under the read deadline. Transport
+// failures poison the session and come back tagged transient (a fresh
+// connection may succeed where this one died).
+func (c *Client) readLineErr() (string, error) {
+	c.armRead()
 	if !c.r.Scan() {
 		err := c.r.Err()
 		if err == nil {
 			err = fmt.Errorf("ioserve: server closed connection")
 		}
-		c.fail(err)
+		return "", c.fail(transportErr(err))
 	}
-	return strings.TrimSpace(c.r.Text())
+	return strings.TrimSpace(c.r.Text()), nil
 }
 
-// Eval issues one query. Transport failures panic: the learner has no
-// recovery story for a dead black box, matching the contest setting where a
-// dead iogen ends the run.
+// Eval issues one query. Transport failures panic with *oracle.Failure: the
+// bare client has no recovery story for a dead black box, matching the
+// contest setting where a dead iogen ends the run. Use ResilientClient (or
+// TryEval) for a learner that survives them.
 func (c *Client) Eval(assignment []bool) []bool {
-	if c.queryErr != nil {
-		panic(c.queryErr)
+	out, err := c.evalErr(assignment)
+	if err != nil {
+		panic(oracle.NewFailure(err))
+	}
+	return out
+}
+
+// TryEval issues one query, returning transport failures as error values
+// (oracle.Fallible).
+func (c *Client) TryEval(assignment []bool) ([]bool, error) {
+	return c.evalErr(assignment)
+}
+
+func (c *Client) evalErr(assignment []bool) ([]bool, error) {
+	if err := c.usable(); err != nil {
+		return nil, err
 	}
 	if len(assignment) != len(c.ins) {
 		panic(fmt.Sprintf("ioserve: %d bits for %d inputs", len(assignment), len(c.ins)))
 	}
-	if _, err := c.w.WriteString(formatBits(assignment) + "\n"); err != nil {
-		c.fail(err)
+	if err := c.send(formatBits(assignment) + "\n"); err != nil {
+		return nil, err
 	}
-	if err := c.w.Flush(); err != nil {
-		c.fail(err)
-	}
-	return c.readReply()
+	return c.readReplyErr()
 }
 
-// readReply parses one <obits> reply line.
-func (c *Client) readReply() []bool {
-	line := c.readLine()
-	if strings.HasPrefix(line, "error:") {
-		c.fail(fmt.Errorf("ioserve: server rejected query: %s", line))
+// readReplyErr parses one <obits> reply line, classifying error replies per
+// the wire failure model.
+func (c *Client) readReplyErr() ([]bool, error) {
+	line, err := c.readLineErr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasPrefix(line, "error: transient:"):
+		// The server-side black box hiccuped but the stream is intact:
+		// retryable in place, session not poisoned.
+		return nil, &wireTransientError{msg: strings.TrimSpace(strings.TrimPrefix(line, "error:"))}
+	case strings.HasPrefix(line, "error: fatal:"):
+		return nil, c.fail(fmt.Errorf("ioserve: black box is dead: %s", strings.TrimSpace(strings.TrimPrefix(line, "error: fatal:"))))
+	case strings.HasPrefix(line, "error:"):
+		// A well-formed query was rejected: that is a client-side bug, not
+		// a fault worth retrying.
+		return nil, c.fail(fmt.Errorf("ioserve: server rejected query: %s", line))
 	}
 	out, err := parseBits(line, len(c.outs))
 	if err != nil {
-		c.fail(fmt.Errorf("ioserve: bad reply: %w", err))
+		// A reply that does not parse means the stream is desynchronized
+		// (e.g. a corrupted line): unusable here, but a reconnect heals it.
+		return nil, c.fail(transportErr(fmt.Errorf("ioserve: bad reply: %w", err)))
 	}
-	return out
+	return out, nil
 }
 
 // EvalBatch sends the whole batch across the wire. On a v2 session it uses
 // batch framing (one round trip per MaxFrame queries); on a v1 session it
 // pipelines scalar query lines in small chunks, which old servers answer
 // line-by-line. Either way the bits returned are identical to n scalar
-// Evals.
+// Evals. Transport failures panic with *oracle.Failure.
 func (c *Client) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
-	if c.queryErr != nil {
-		panic(c.queryErr)
+	out, err := c.evalBatchErr(patterns, n)
+	if err != nil {
+		panic(oracle.NewFailure(err))
+	}
+	return out
+}
+
+// TryEvalBatch is EvalBatch with transport failures as error values
+// (oracle.FallibleBatch). An error rejects the whole batch.
+func (c *Client) TryEvalBatch(patterns []bitvec.Word, n int) ([]bitvec.Word, error) {
+	return c.evalBatchErr(patterns, n)
+}
+
+func (c *Client) evalBatchErr(patterns []bitvec.Word, n int) ([]bitvec.Word, error) {
+	out := make([]bitvec.Word, len(c.outs)*oracle.Words(n))
+	if _, err := c.evalBatchResume(patterns, n, 0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalBatchResume is the resumable core of evalBatchErr, exposed to the
+// resilient layer so a session that dies mid-batch doesn't forfeit the
+// answers it already delivered. It issues the queries for patterns
+// [start, n) and scatters replies into out, the caller-owned result lanes
+// (len(c.outs)*Words(n) words). The return value is the count of leading
+// patterns whose replies have been fully received: on error the caller
+// retries with start set to that count, re-issuing only the unanswered
+// tail — queries are pure, so a kept answer can never disagree with a
+// re-issued one. Matters most on v1, where every reply is its own write
+// and a large batch can outlive any single connection.
+func (c *Client) evalBatchResume(patterns []bitvec.Word, n, start int, out []bitvec.Word) (int, error) {
+	if err := c.usable(); err != nil {
+		return start, err
 	}
 	nIn, nOut := len(c.ins), len(c.outs)
 	w := oracle.Words(n)
 	if want := nIn * w; len(patterns) != want {
 		panic(fmt.Sprintf("ioserve: EvalBatch got %d lane words, want %d", len(patterns), want))
 	}
-	out := make([]bitvec.Word, nOut*w)
+	if want := nOut * w; len(out) != want {
+		panic(fmt.Sprintf("ioserve: EvalBatch got %d result words, want %d", len(out), want))
+	}
 	frame := MaxFrame
 	if c.proto < 2 {
 		frame = v1PipelineChunk
+		if c.v1Chunk > 0 {
+			frame = c.v1Chunk
+		}
 	}
 	qbuf := make([]byte, nIn)
-	for base := 0; base < n; base += frame {
+	done := start
+	for base := start; base < n; base += frame {
 		k := min(n-base, frame)
 		// Write the frame: a batch header on v2, bare query lines on v1.
 		if c.proto >= 2 {
@@ -450,44 +744,71 @@ func (c *Client) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
 				}
 			}
 			if _, err := c.w.Write(qbuf); err != nil {
-				c.fail(err)
+				return done, c.fail(transportErr(err))
 			}
 			if err := c.w.WriteByte('\n'); err != nil {
-				c.fail(err)
+				return done, c.fail(transportErr(err))
 			}
 		}
+		c.armWrite()
 		if err := c.w.Flush(); err != nil {
-			c.fail(err)
+			return done, c.fail(transportErr(err))
 		}
 		// Read the replies.
 		if c.proto >= 2 {
-			header := c.readLine()
-			if strings.HasPrefix(header, "error:") {
-				c.fail(fmt.Errorf("ioserve: server rejected batch: %s", header))
+			header, err := c.readLineErr()
+			if err != nil {
+				return done, err
 			}
-			if header != fmt.Sprintf("batch %d", k) {
-				c.fail(fmt.Errorf("ioserve: bad batch reply header %q", header))
+			switch {
+			case strings.HasPrefix(header, "error: transient:"):
+				return done, &wireTransientError{msg: strings.TrimSpace(strings.TrimPrefix(header, "error:"))}
+			case strings.HasPrefix(header, "error: fatal:"):
+				return done, c.fail(fmt.Errorf("ioserve: black box is dead: %s", strings.TrimSpace(strings.TrimPrefix(header, "error: fatal:"))))
+			case strings.HasPrefix(header, "error:"):
+				return done, c.fail(fmt.Errorf("ioserve: server rejected batch: %s", header))
+			case header != fmt.Sprintf("batch %d", k):
+				return done, c.fail(transportErr(fmt.Errorf("ioserve: bad batch reply header %q", header)))
 			}
 		}
 		for q := 0; q < k; q++ {
-			res := c.readReply()
+			res, err := c.readReplyErr()
+			if err != nil {
+				if isWireTransient(err) && c.proto < 2 {
+					// v1 pipelining: the rest of the chunk's replies are
+					// still in flight. Drain them so the stream stays
+					// synchronized for the in-place retry.
+					for d := q + 1; d < k; d++ {
+						if _, derr := c.readLineErr(); derr != nil {
+							return done, derr
+						}
+					}
+				}
+				return done, err
+			}
 			pat := base + q
 			for j, bit := range res {
 				if bit {
 					out[j*w+pat>>6] |= 1 << (uint(pat) & 63)
 				}
 			}
+			done = pat + 1
 		}
 	}
-	return out
+	return done, nil
 }
 
-func (c *Client) fail(err error) {
-	c.queryErr = err
-	panic(err)
+// fail poisons the session and returns the error for the caller to
+// propagate.
+func (c *Client) fail(err error) error {
+	if c.queryErr == nil {
+		c.queryErr = err
+	}
+	return err
 }
 
 var (
-	_ oracle.Oracle      = (*Client)(nil)
-	_ oracle.BatchOracle = (*Client)(nil)
+	_ oracle.Oracle        = (*Client)(nil)
+	_ oracle.BatchOracle   = (*Client)(nil)
+	_ oracle.FallibleBatch = (*Client)(nil)
 )
