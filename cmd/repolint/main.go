@@ -1,12 +1,22 @@
-// Command repolint runs the repo-specific static analyzers (scalareval,
-// seededrand, orphanerr — see internal/analysis/analyzers) over Go
-// packages. It speaks the vet unit-checker protocol, so the same binary
-// works standalone and as a vettool:
+// Command repolint runs the repo-specific static analyzers — the AST rules
+// (scalareval, seededrand, orphanerr, errcompare, nodeadline) and the
+// flow-sensitive contract checkers (randtaint, locksafe, panicbridge,
+// goleak); see internal/analysis/analyzers — over Go packages. It speaks
+// the vet unit-checker protocol, so the same binary works standalone and as
+// a vettool:
 //
-//	repolint ./...                      # standalone
+//	repolint ./...                          # standalone
 //	go vet -vettool=$(pwd)/repolint ./...   # under the go command (CI)
 //
-// Exit status is 2 when any analyzer reports a finding.
+// Exit status is 2 when any analyzer reports a finding. Standalone runs can
+// ratchet per-analyzer finding counts against a checked-in floor instead of
+// failing on any finding at all:
+//
+//	repolint -baseline REPOLINT_BASELINE.json ./...        # enforce (CI)
+//	repolint -baseline REPOLINT_BASELINE.json -write-baseline ./...  # tighten
+//
+// Counts only go down: a count above its baseline entry fails, a count
+// below it prints a reminder to tighten the floor.
 package main
 
 import (

@@ -14,43 +14,32 @@
 //	nodeadline  network I/O must be time-bounded: net.DialTimeout over
 //	            net.Dial, Set*Deadline before raw conn reads/writes (a
 //	            silent remote black box must not pin a goroutine)
+//	randtaint   flow-sensitive: no rand source may be seeded from the
+//	            clock or the process-global generator, tracked through
+//	            variables, fields, returns, and closures
+//	locksafe    flow-sensitive: every Lock/TryLock acquisition is released
+//	            on all exit paths (including panic edges); locks are never
+//	            copied by value
+//	panicbridge flow-sensitive: in internal/core and internal/oracle only
+//	            *oracle.Failure errors may panic on oracle-reachable
+//	            paths, and recover results are type-checked
+//	goleak      every go statement has a completion witness in scope
+//	            (WaitGroup.Done, done-channel send/close, context)
+//
+// The flow-sensitive rules run on internal/analysis/flow (CFGs, a forward
+// lattice solver, and bottom-up call-graph summaries); see DESIGN.md §10.
 package analyzers
 
 import (
-	"go/ast"
-	"go/types"
-
 	"logicregression/internal/analysis"
 )
 
-// All returns every repo analyzer, in stable order.
+// All returns every repo analyzer, in stable order. The first group are
+// cheap AST matchers; the second group (randtaint, locksafe, panicbridge,
+// goleak) are flow-sensitive rules built on internal/analysis/flow.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ScalarEval, SeededRand, OrphanErr, ErrCompare, NoDeadline}
-}
-
-// unparen strips any parentheses around e.
-func unparen(e ast.Expr) ast.Expr {
-	for {
-		p, ok := e.(*ast.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.X
+	return []*analysis.Analyzer{
+		ScalarEval, SeededRand, OrphanErr, ErrCompare, NoDeadline,
+		RandTaint, LockSafe, PanicBridge, GoLeak,
 	}
-}
-
-// calleeFunc resolves the function or method a call statically invokes,
-// or nil for indirect calls through function values.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch f := unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return nil
-	}
-	fn, _ := info.Uses[id].(*types.Func)
-	return fn
 }

@@ -132,6 +132,45 @@ func TestNoDeadlineFixture(t *testing.T) {
 	runFixture(t, NoDeadline, "logicregression/fixture/nodeadline")
 }
 
+func TestRandTaintFixture(t *testing.T) {
+	runFixture(t, RandTaint, "logicregression/fixture/randtaint")
+}
+
+func TestLockSafeFixture(t *testing.T) {
+	runFixture(t, LockSafe, "logicregression/fixture/locksafe")
+}
+
+func TestPanicBridgeFixture(t *testing.T) {
+	// The contract is gated to the learner-oracle boundary; the fixture
+	// type-checks under a core import path to be inside the gate.
+	runFixture(t, PanicBridge, "logicregression/internal/core")
+}
+
+func TestPanicBridgeSkipsOtherPackages(t *testing.T) {
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("export index: %v", err)
+	}
+	fset := token.NewFileSet()
+	path := filepath.Join("testdata", "src", "panicbridge", "bad.go")
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.CheckFiles(fset, []*ast.File{f}, "example.com/elsewhere",
+		exports, nil, []*analysis.Analyzer{PanicBridge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("panicbridge fired outside internal/core and internal/oracle: %v", diags)
+	}
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	runFixture(t, GoLeak, "logicregression/fixture/goleak")
+}
+
 // TestRepoIsClean runs every analyzer over the whole module: the rules the
 // analyzers encode are supposed to hold in production code right now.
 func TestRepoIsClean(t *testing.T) {

@@ -1,0 +1,152 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/astutil"
+	"logicregression/internal/analysis/flow"
+)
+
+// GoLeak requires every go statement to carry a completion witness — some
+// mechanism a caller can use to wait for or bound the goroutine's lifetime:
+// a sync.WaitGroup Done, a send or close on a channel, or a receive from a
+// cancellation channel (ctx.Done() and friends). A goroutine with none of
+// these outlives every observer; in this repo that turns deterministic
+// runs and clean shutdowns into races. Named callees are checked by
+// bottom-up summary over the package call graph; indirect calls are
+// conservatively assumed to signal.
+var GoLeak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "flags go statements whose goroutine has no completion witness " +
+		"(WaitGroup.Done, channel send/close, or cancellation receive): " +
+		"callers cannot wait for or bound such a goroutine",
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	graph := flow.BuildCallGraph(pass.Files, info)
+
+	// Bottom-up summary: a function signals completion if its body contains
+	// a witness or it calls a same-package function that does. Indirect
+	// calls count as signaling — conservative toward fewer findings.
+	signals := map[*flow.CallNode]bool{}
+	graph.Fixpoint(func(n *flow.CallNode) bool {
+		if signals[n] {
+			return false
+		}
+		v := hasWitness(info, n.Decl.Body) || n.HasIndirect
+		for _, c := range n.Calls {
+			if c.Local != nil && signals[c.Local] {
+				v = true
+			}
+		}
+		if v {
+			signals[n] = true
+			return true
+		}
+		return false
+	})
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goSignals(info, graph, signals, gs.Call) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine has no completion witness; give it a WaitGroup Done, "+
+					"a channel send/close, or a cancellation receive so callers can wait for it")
+			return true
+		})
+	}
+	return nil
+}
+
+// goSignals decides whether the goroutine started by call carries a
+// completion witness.
+func goSignals(info *types.Info, graph *flow.CallGraph, signals map[*flow.CallNode]bool, call *ast.CallExpr) bool {
+	if lit, ok := astutil.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return litSignals(info, graph, signals, lit)
+	}
+	fn := astutil.CalleeFunc(info, call)
+	if fn == nil {
+		return true // go f() through a function value: unresolvable, stay silent
+	}
+	node := graph.Nodes[fn]
+	if node == nil {
+		return true // imported function: out of scope for a package summary
+	}
+	return signals[node]
+}
+
+// litSignals checks a go-func literal: a witness in its body, or a call to
+// a signaling same-package function, counts.
+func litSignals(info *types.Info, graph *flow.CallGraph, signals map[*flow.CallNode]bool, lit *ast.FuncLit) bool {
+	if hasWitness(info, lit.Body) {
+		return true
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astutil.CalleeFunc(info, call)
+		if fn == nil {
+			// A call through a function value may signal; stay silent.
+			if id, isIdent := astutil.Unparen(call.Fun).(*ast.Ident); !isIdent || info.Uses[id] == nil {
+				found = true
+			} else if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				found = true
+			}
+			return true
+		}
+		if node := graph.Nodes[fn]; node != nil && signals[node] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasWitness scans one body for a completion signal: wg.Done(), a channel
+// send, close(ch), or a receive from a cancellation channel (a call like
+// ctx.Done() used as a receive operand, including in select cases and
+// range-over-channel).
+func hasWitness(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if astutil.IsBuiltin(info, n, "close") {
+				found = true
+			}
+			if sel, ok := astutil.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if fn := astutil.CalleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					found = true // sync.WaitGroup.Done
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true // drains a channel: terminates when it closes
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

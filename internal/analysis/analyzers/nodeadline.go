@@ -5,6 +5,7 @@ import (
 	"go/types"
 
 	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/astutil"
 )
 
 // NoDeadline flags network I/O with no time bound. The remote-oracle
@@ -55,7 +56,7 @@ func checkDeadlines(pass *analysis.Pass, fd *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		fn := calleeFunc(pass.TypesInfo, call)
+		fn := astutil.CalleeFunc(pass.TypesInfo, call)
 		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
 			return true
 		}
@@ -90,7 +91,7 @@ func callsDeadlineSetter(body *ast.BlockStmt) bool {
 		if !ok {
 			return true
 		}
-		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineSetters[sel.Sel.Name] {
+		if sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineSetters[sel.Sel.Name] {
 			found = true
 			return false
 		}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/astutil"
 )
 
 // OrphanErr flags dropped errors from the netlist IO functions in
@@ -63,7 +64,7 @@ func runOrphanErr(pass *analysis.Pass) error {
 		if !ok {
 			return nil
 		}
-		if !netlistIO(calleeFunc(pass.TypesInfo, call)) {
+		if !netlistIO(astutil.CalleeFunc(pass.TypesInfo, call)) {
 			return nil
 		}
 		return call
@@ -73,15 +74,15 @@ func runOrphanErr(pass *analysis.Pass) error {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
 				if call := check(st.X); call != nil {
-					report(call, calleeFunc(pass.TypesInfo, call), "discarded")
+					report(call, astutil.CalleeFunc(pass.TypesInfo, call), "discarded")
 				}
 			case *ast.GoStmt:
 				if call := check(st.Call); call != nil {
-					report(call, calleeFunc(pass.TypesInfo, call), "unobservable in a go statement")
+					report(call, astutil.CalleeFunc(pass.TypesInfo, call), "unobservable in a go statement")
 				}
 			case *ast.DeferStmt:
 				if call := check(st.Call); call != nil {
-					report(call, calleeFunc(pass.TypesInfo, call), "unobservable in a deferred call")
+					report(call, astutil.CalleeFunc(pass.TypesInfo, call), "unobservable in a deferred call")
 				}
 			case *ast.AssignStmt:
 				if len(st.Rhs) != 1 {
@@ -91,7 +92,7 @@ func runOrphanErr(pass *analysis.Pass) error {
 				if call == nil {
 					return true
 				}
-				fn := calleeFunc(pass.TypesInfo, call)
+				fn := astutil.CalleeFunc(pass.TypesInfo, call)
 				sig := fn.Type().(*types.Signature)
 				idx := errResultIndex(sig)
 				if idx >= len(st.Lhs) {

@@ -1,0 +1,264 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/astutil"
+	"logicregression/internal/analysis/flow"
+)
+
+// RandTaint is the flow-sensitive successor of the AST-only SeededRand
+// rule: every random generator must be derived from the plumbed seed. It
+// taints clock reads (time.Now and friends), process-global math/rand
+// draws, and crypto/rand reads, then tracks the taint through variables
+// (with strong updates, so overwriting a clock value with the plumbed seed
+// is clean), struct fields, function returns (bottom-up summaries over the
+// package call graph), and closures. A tainted value reaching a
+// rand.NewSource / rand.New / rand/v2 seed position breaks the
+// byte-identical fixed-seed guarantee and is reported.
+var RandTaint = &analysis.Analyzer{
+	Name: "randtaint",
+	Doc: "flags rand sources seeded from the clock or the process-global " +
+		"generator, tracking the seed value through variables, fields, " +
+		"returns, and closures; all randomness must flow from the plumbed seed",
+	Run: runRandTaint,
+}
+
+// randSeedSinks are the math/rand (and v2) constructors whose argument is a
+// seed. NewZipf takes an already-built *Rand, so it is not a sink.
+var randSeedSinks = map[string]bool{
+	"NewSource":  true, // math/rand, math/rand/v2
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// taintSourcePkgs maps package path -> the call names whose results are
+// nondeterministic entropy.
+func isEntropyCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := astutil.ImportedPkg(info, sel)
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Imported().Path() {
+	case "time":
+		return sel.Sel.Name == "Now"
+	case "math/rand", "math/rand/v2":
+		// Package-level draws come from the process-global source; the
+		// constructors are handled as sinks, not sources.
+		return !sourceConstructors[sel.Sel.Name] && !randSeedSinks[sel.Sel.Name]
+	case "crypto/rand":
+		return true
+	}
+	return false
+}
+
+func runRandTaint(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	graph := flow.BuildCallGraph(pass.Files, info)
+
+	// Package-level fixpoint: function summaries ("returns entropy") and
+	// entropy-tainted objects (package vars, struct fields written from a
+	// tainted value anywhere) feed back into every function until stable.
+	returnsEntropy := make(map[*types.Func]bool)
+	taintedObjs := make(map[types.Object]bool)
+
+	spec := func() *flow.TaintSpec {
+		return &flow.TaintSpec{
+			Info:  info,
+			Entry: taintedObjs,
+			Source: func(e ast.Expr) bool {
+				call, ok := e.(*ast.CallExpr)
+				return ok && isEntropyCall(info, call)
+			},
+			CallTaint: func(call *ast.CallExpr, argTainted bool) bool {
+				if fn := astutil.CalleeFunc(info, call); fn != nil && returnsEntropy[fn] {
+					return true
+				}
+				// Default: taint flows through arguments and receivers
+				// (covers t.UnixNano() on a tainted time, conversions,
+				// and is the conservative choice at indirect calls).
+				return argTainted
+			},
+		}
+	}
+
+	// analyzeBody solves one function body (or closure), records new
+	// summary facts, and optionally reports sink hits.
+	var analyzeBody func(fn *types.Func, body *ast.BlockStmt, report bool) bool
+	analyzeBody = func(fn *types.Func, body *ast.BlockStmt, report bool) bool {
+		changed := false
+		sp := spec()
+		g := flow.New(body, info)
+		sol := flow.RunTaint(g, sp)
+		flow.NodeTaintStates(g, sp, sol, func(n ast.Node, s flow.TaintState) {
+			// Record entropy escaping into fields and package variables
+			// (weak, package-global facts).
+			recordEscapes(info, sp, n, s, taintedObjs, &changed)
+			if !report {
+				return
+			}
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, isLit := x.(*ast.FuncLit); isLit {
+					return false // closures are analyzed separately
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sinkCall(pass, sp, call, s)
+				return true
+			})
+		})
+		// Summary: does any return statement yield a tainted value?
+		if fn != nil && !returnsEntropy[fn] {
+			tainted := false
+			flow.NodeTaintStates(g, sp, sol, func(n ast.Node, s flow.TaintState) {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return
+				}
+				for _, r := range ret.Results {
+					if sp.ExprTaint(r, s) {
+						tainted = true
+					}
+				}
+			})
+			if tainted {
+				returnsEntropy[fn] = true
+				changed = true
+			}
+		}
+		// Closures: entry state already includes taintedObjs; captured
+		// locals are visible because taint states use the same objects.
+		// Seed each literal with the join of the enclosing function's
+		// tainted locals so captures stay tainted inside.
+		for _, lit := range flow.FuncLits(body) {
+			outer := make(map[types.Object]bool, len(taintedObjs))
+			for o := range taintedObjs {
+				outer[o] = true
+			}
+			for _, st := range sol.Out {
+				for o := range st {
+					outer[o] = true
+				}
+			}
+			saved := taintedObjs
+			taintedObjs = outer
+			if analyzeBody(nil, lit.Body, report) {
+				changed = true
+			}
+			// Keep any newly discovered package-level facts (struct fields
+			// have no parent scope; package vars live in the package
+			// scope), drop the capture-seeded locals.
+			for o := range taintedObjs {
+				if saved[o] || isPackageFact(o) {
+					saved[o] = true
+				}
+			}
+			taintedObjs = saved
+		}
+		return changed
+	}
+
+	// Iterate summaries to a fixed point, silently; then one reporting run.
+	for rounds := 0; rounds < len(graph.Order)+2; rounds++ {
+		changed := false
+		for _, n := range graph.Order {
+			if analyzeBody(n.Fn, n.Decl.Body, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range graph.Order {
+		analyzeBody(n.Fn, n.Decl.Body, true)
+	}
+	return nil
+}
+
+// recordEscapes adds field/package-variable objects assigned a tainted
+// value to the package-global tainted set.
+func recordEscapes(info *types.Info, sp *flow.TaintSpec, n ast.Node,
+	s flow.TaintState, global map[types.Object]bool, changed *bool) {
+
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	mark := func(obj types.Object) {
+		if obj != nil && !global[obj] {
+			global[obj] = true
+			*changed = true
+		}
+	}
+	for i, lhs := range assign.Lhs {
+		var rhs ast.Expr
+		switch {
+		case i < len(assign.Rhs) && len(assign.Lhs) == len(assign.Rhs):
+			rhs = assign.Rhs[i]
+		case len(assign.Rhs) == 1:
+			rhs = assign.Rhs[0]
+		default:
+			continue
+		}
+		if !sp.ExprTaint(rhs, s) {
+			continue
+		}
+		switch lhs := lhs.(type) {
+		case *ast.SelectorExpr:
+			if sel := info.Selections[lhs]; sel != nil {
+				mark(sel.Obj())
+			}
+		case *ast.Ident:
+			if obj := astutil.ObjectOf(info, lhs); obj != nil && isPackageFact(obj) {
+				mark(obj)
+			}
+		}
+	}
+}
+
+// isPackageFact reports whether taint on obj is a package-level fact worth
+// carrying across functions: struct fields (no parent scope) and
+// package-scope variables, but not function locals.
+func isPackageFact(o types.Object) bool {
+	if o.Parent() == nil {
+		return true // struct field
+	}
+	return o.Pkg() != nil && o.Parent() == o.Pkg().Scope()
+}
+
+// sinkCall reports a rand constructor whose seed argument is tainted.
+func sinkCall(pass *analysis.Pass, sp *flow.TaintSpec, call *ast.CallExpr, s flow.TaintState) {
+	sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg := astutil.ImportedPkg(pass.TypesInfo, sel)
+	if pkg == nil {
+		return
+	}
+	switch pkg.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return
+	}
+	if !randSeedSinks[sel.Sel.Name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if sp.ExprTaint(arg, s) {
+			pass.Reportf(call.Pos(),
+				"rand source seeded from the clock or another nondeterministic value; "+
+					"derive the seed from the plumbed -seed so fixed-seed runs stay byte-identical")
+			return
+		}
+	}
+}

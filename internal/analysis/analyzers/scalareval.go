@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/astutil"
 )
 
 // batchCapable lists the packages (by import-path suffix) whose hot paths
@@ -61,7 +62,7 @@ func runScalarEval(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			fn := calleeFunc(pass.TypesInfo, call)
+			fn := astutil.CalleeFunc(pass.TypesInfo, call)
 			if fn == nil || fn.Name() != "Eval" || fn.Pkg() == nil ||
 				!strings.HasSuffix(fn.Pkg().Path(), "internal/oracle") {
 				return true

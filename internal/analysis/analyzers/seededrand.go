@@ -31,6 +31,9 @@ var sourceConstructors = map[string]bool{
 func runSeededRand(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkClockSeed(pass, call)
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -62,4 +65,59 @@ func runSeededRand(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkClockSeed is the cheap syntactic first pass over the
+// seeded-from-the-clock anti-pattern: a math/rand constructor whose
+// argument textually contains a time.Now() chain, as in
+// rand.NewSource(time.Now().UnixNano()). The flow-sensitive randtaint
+// analyzer catches the same taint through variables, fields, and helpers;
+// this check fires without any dataflow, so it also works in contexts where
+// only single-file syntax is available.
+func checkClockSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return
+	}
+	if !sourceConstructors[sel.Sel.Name] && !randSeedSinks[sel.Sel.Name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if containsTimeNow(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(),
+				"rand source seeded from the clock (time.Now); use the plumbed seed so fixed-seed runs stay byte-identical")
+			return
+		}
+	}
+}
+
+// containsTimeNow reports whether the expression contains a time.Now call.
+func containsTimeNow(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "time" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
 }

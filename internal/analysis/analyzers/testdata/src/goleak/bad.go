@@ -1,0 +1,26 @@
+// The goleak fixture: goroutines nobody can wait for.
+package goleak
+
+func work() {}
+
+// A named callee with no completion signal.
+func fireAndForget() {
+	go work() // want "no completion witness"
+}
+
+// A literal that computes and exits with no way to observe it.
+func litNoWitness(n int) {
+	go func() { // want "no completion witness"
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// Transitively witness-free: the literal only calls silent functions.
+func viaSilentHelper() {
+	go func() { // want "no completion witness"
+		work()
+		work()
+	}()
+}

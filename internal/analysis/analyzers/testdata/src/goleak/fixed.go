@@ -1,0 +1,56 @@
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func task() {}
+
+// WaitGroup: the canonical completion witness.
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		task()
+	}()
+	wg.Wait()
+}
+
+// Closing a done-channel lets any number of observers wait.
+func channelDone() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		task()
+	}()
+	return done
+}
+
+// A send is a witness: the receiver observes completion.
+func sender(out chan<- int) {
+	go func() { out <- 1 }()
+}
+
+// Receiving from a cancellation channel bounds the lifetime.
+func cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Draining a channel terminates when the producer closes it.
+func drainer(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// The witness may live in a named callee (bottom-up summary).
+func viaSignalingCallee(out chan int) {
+	go pump(out)
+}
+
+func pump(out chan int) { out <- 1 }

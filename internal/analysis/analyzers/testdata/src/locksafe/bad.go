@@ -1,0 +1,62 @@
+// The locksafe fixture: locks leaked on returns and panics, conditional
+// TryLock acquisitions, and lock values copied by value.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// The early return leaks the lock.
+func leakOnReturn(c *counter) int {
+	c.mu.Lock() // want "may still be held at a return"
+	if c.n > 0 {
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// The panic path unwinds with the lock held; only a defer covers it.
+func leakOnPanic(c *counter) {
+	c.mu.Lock() // want "may still be held at a panic"
+	if c.n < 0 {
+		panic("negative count")
+	}
+	c.mu.Unlock()
+}
+
+// A successful TryLock is an acquisition like any other.
+func tryLeak(mu *sync.Mutex) {
+	if mu.TryLock() { // want "may still be held"
+		return
+	}
+}
+
+// The assigned form leaks the same way.
+func tryVarLeak(mu *sync.Mutex) bool {
+	ok := mu.TryLock() // want "may still be held"
+	if ok {
+		return true
+	}
+	return false
+}
+
+// Copying a lock forks its state: the copy guards nothing.
+func passByValue(c counter) int { // want "copies a lock"
+	return c.n
+}
+
+func copyAssign(c *counter) {
+	d := *c // want "copies a lock"
+	_ = d
+}
+
+func rangeCopy(cs []counter) (total int) {
+	for _, c := range cs { // want "range copies a lock"
+		total += c.n
+	}
+	return total
+}

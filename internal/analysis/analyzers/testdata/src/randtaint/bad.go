@@ -1,0 +1,52 @@
+// The randtaint fixture: every way a rand source can be seeded from the
+// clock or the process-global generator instead of the plumbed seed.
+package randtaint
+
+import (
+	"math/rand"
+	"time"
+)
+
+func use(rand.Source) {}
+
+// Direct: the classic anti-pattern, inline.
+func direct() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "nondeterministic"
+}
+
+// Through a local variable.
+func viaVar() rand.Source {
+	seed := time.Now().UnixNano()
+	return rand.NewSource(seed) // want "nondeterministic"
+}
+
+// Through a helper's return value (interprocedural summary).
+func clockSeed() int64 { return time.Now().UnixNano() }
+
+func viaHelper() rand.Source {
+	return rand.NewSource(clockSeed()) // want "nondeterministic"
+}
+
+// Through a struct field.
+type cfg struct{ seed int64 }
+
+func viaField() {
+	var c cfg
+	c.seed = time.Now().UnixNano()
+	use(rand.NewSource(c.seed)) // want "nondeterministic"
+}
+
+// Through a closure capture.
+func viaClosure() {
+	t := time.Now().UnixNano()
+	mk := func() rand.Source {
+		return rand.NewSource(t) // want "nondeterministic"
+	}
+	use(mk())
+}
+
+// From the process-global generator: just as nondeterministic across runs.
+func globalDraw() rand.Source {
+	n := rand.Int63()
+	return rand.NewSource(n) // want "nondeterministic"
+}

@@ -1,0 +1,27 @@
+package randtaint
+
+import "math/rand"
+
+// The plumbed seed is the one sanctioned entropy root.
+func fromSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Values derived from the seed stay clean.
+func derived(seed int64) rand.Source {
+	return rand.NewSource(seed ^ 0x9e3779b9)
+}
+
+// A strong update un-taints: the clock value is overwritten before use.
+func overwritten(seed int64) rand.Source {
+	s := clockSeed()
+	s = seed
+	return rand.NewSource(s)
+}
+
+// A helper that merely transforms its input stays clean for clean inputs.
+func mix(a, b int64) int64 { return a*31 + b }
+
+func viaCleanHelper(seed int64) rand.Source {
+	return rand.NewSource(mix(seed, 7))
+}

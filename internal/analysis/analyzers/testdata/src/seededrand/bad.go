@@ -1,6 +1,9 @@
 package fixture
 
-import "math/rand"
+import (
+	"math/rand"
+	"time"
+)
 
 // BadShuffle draws from the process-global source.
 func BadShuffle(xs []int) {
@@ -8,4 +11,10 @@ func BadShuffle(xs []int) {
 		xs[i], xs[j] = xs[j], xs[i]
 	})
 	_ = rand.Intn(len(xs)) // want "draws from the process-global source"
+}
+
+// ClockSeeded builds a generator from the wall clock: unique per run, so
+// fixed-seed runs are not reproducible.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the clock"
 }

@@ -1,0 +1,121 @@
+// Package astutil holds the small AST and type-resolution helpers shared by
+// the repo analyzers (internal/analysis/analyzers) and the dataflow engine
+// (internal/analysis/flow). They were originally private to the analyzers
+// package; the flow engine needs the same resolution logic, so they live in
+// one exported place with their own tests instead of two drifting copies.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Unparen strips any parentheses around e.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// CalleeFunc resolves the function or method a call statically invokes, or
+// nil for indirect calls through function values (and for builtins and type
+// conversions, which are not *types.Func).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether call invokes the named universe builtin
+// (panic, recover, close, ...), seen through parentheses.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// ImportedPkg returns the package a qualified identifier pkg.Sel refers to,
+// or nil when sel.X is not a package name.
+func ImportedPkg(info *types.Info, sel *ast.SelectorExpr) *types.PkgName {
+	id, ok := Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, _ := info.Uses[id].(*types.PkgName)
+	return pkgName
+}
+
+// RootIdent returns the leftmost identifier of a selector/index/star/paren
+// chain (x in x.f[i].g), or nil when the chain is rooted elsewhere (a call
+// result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// NamedType reports whether t (or the pointee, when t is a pointer) is the
+// named type pkgPath.name.
+func NamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return pkgPath == "" && obj.Name() == name
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// RecvType returns the receiver type of a method, or nil for package-level
+// functions and nil fn.
+func RecvType(fn *types.Func) types.Type {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// ObjectOf resolves the object an identifier defines or uses.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

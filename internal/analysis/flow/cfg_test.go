@@ -1,0 +1,263 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseWholeFile type-checks one source file against the compiled stdlib.
+func parseWholeFile(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+// parseFunc type-checks one file and returns the named function's decl.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset, f, info := parseWholeFile(t, src)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, fd, info
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil, nil
+}
+
+// golden compares a CFG dump against the expected text (both trimmed).
+func golden(t *testing.T, got, want string) {
+	t.Helper()
+	g, w := strings.TrimSpace(got), strings.TrimSpace(want)
+	if g != w {
+		t.Errorf("CFG dump mismatch:\n--- got ---\n%s\n--- want ---\n%s", g, w)
+	}
+}
+
+func TestCFGDeferPanic(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(bad bool) {
+	defer done()
+	if bad {
+		panic("boom")
+	}
+	work()
+}
+func done() {}
+func work() {}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	defer done()
+	bad
+	-> b3 b4
+b1 exit
+b2 panic
+b3 if.then
+	panic("boom")
+	-> b2
+b4 if.done
+	work()
+	-> b1
+defers
+	defer done()
+`)
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(xs [][]int) int {
+	total := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	total := 0
+	-> b3
+b1 exit
+b2 panic
+b3 label.outer
+	-> b4
+b4 range.head
+	for _, row := range xs
+	-> b5 b6
+b5 range.body
+	-> b7
+b6 range.done
+	return total
+	-> b1
+b7 range.head
+	for _, v := range row
+	-> b8 b9
+b8 range.body
+	v < 0
+	-> b10 b11
+b9 range.done
+	-> b4
+b10 if.then
+	-> b6
+b11 if.done
+	total += v
+	-> b7
+`)
+}
+
+func TestCFGSelect(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(a, b chan int, out chan<- int) {
+	for {
+		select {
+		case v := <-a:
+			out <- v
+		case <-b:
+			return
+		default:
+			continue
+		}
+	}
+}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	-> b3
+b1 exit
+b2 panic
+b3 for.head
+	-> b4
+b4 for.body
+	-> b7 b8 b9
+b5 for.done
+	-> b1
+b6 select.done
+	-> b3
+b7 select.case
+	v := <-a
+	out <- v
+	-> b6
+b8 select.case
+	<-b
+	return
+	-> b1
+b9 select.default
+	-> b3
+`)
+}
+
+func TestCFGSwitchFallthroughGoto(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(n int) int {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	default:
+		goto out
+	}
+	n *= 3
+out:
+	return n
+}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	n
+	-> b4 b5 b6
+b1 exit
+b2 panic
+b3 switch.done
+	n *= 3
+	-> b7
+b4 switch.case
+	0
+	n++
+	-> b5
+b5 switch.case
+	1
+	n += 2
+	-> b3
+b6 switch.default
+	-> b7
+b7 label.out
+	return n
+	-> b1
+`)
+}
+
+// TestCFGEveryBlockTerminates checks structural invariants on a grab-bag
+// function: every non-exit reachable block has successors, and the entry
+// reaches the exit.
+func TestCFGStructure(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(xs []int) (sum int) {
+	for i := 0; i < len(xs); i++ {
+		switch {
+		case xs[i] > 0:
+			sum += xs[i]
+		case xs[i] < -100:
+			panic("out of range")
+		}
+	}
+	return
+}
+`, "f")
+	_ = fset
+	g := New(fd.Body, info)
+	reach := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Blocks[0])
+	if !reach[g.Exit] {
+		t.Error("exit not reachable from entry")
+	}
+	if !reach[g.Panic] {
+		t.Error("panic block not reachable despite explicit panic")
+	}
+	for b := range reach {
+		if b != g.Exit && b != g.Panic && len(b.Succs) == 0 {
+			t.Errorf("reachable block b%d (%s) has no successors", b.Index, b.Kind)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package flow
+
+import (
+	"go/ast"
+	"testing"
+
+	"logicregression/internal/analysis"
+)
+
+// TestSolverFixpointOnRepo is the property test backing the solver's
+// convergence cap: for every function and function literal in the module,
+// both the taint solver (under a worst-case spec that taints every call
+// result) and reaching definitions must reach a fixed point. A lattice or
+// transfer bug that breaks monotonicity shows up here as a non-converged
+// solution on real code long before an analyzer misreports.
+func TestSolverFixpointOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and solves the full module")
+	}
+	units, err := analysis.LoadPackages("../../..", "logicregression/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	funcs := 0
+	probe := &analysis.Analyzer{
+		Name: "fixpointprobe",
+		Doc:  "test-only: solves every function body and asserts convergence",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					name := "func literal"
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if n.Body == nil {
+							return true
+						}
+						body = n.Body
+						name = n.Name.Name
+					case *ast.FuncLit:
+						body = n.Body
+					default:
+						return true
+					}
+					funcs++
+					pos := pass.Fset.Position(body.Pos())
+
+					g := New(body, pass.TypesInfo)
+					if len(g.Blocks) == 0 || g.Blocks[0] == nil {
+						t.Errorf("%s: %s: CFG has no entry block", pos, name)
+						return true
+					}
+
+					// Worst case for the taint lattice: every call result
+					// is a fresh source, so states grow as fast as they can.
+					spec := &TaintSpec{
+						Info: pass.TypesInfo,
+						Source: func(e ast.Expr) bool {
+							_, ok := e.(*ast.CallExpr)
+							return ok
+						},
+					}
+					if sol := RunTaint(g, spec); !sol.Converged {
+						t.Errorf("%s: %s: taint solver did not converge (%d iterations over %d blocks)",
+							pos, name, sol.Iterations, len(g.Blocks))
+					}
+
+					if sol := ReachingDefs(g, pass.TypesInfo, nil); !sol.Converged {
+						t.Errorf("%s: %s: reaching defs did not converge (%d iterations over %d blocks)",
+							pos, name, sol.Iterations, len(g.Blocks))
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	for _, u := range units {
+		if _, err := u.Analyze([]*analysis.Analyzer{probe}); err != nil {
+			t.Fatalf("%s: %v", u.ImportPath, err)
+		}
+	}
+	// The module is not small; a probe that silently analyzed nothing
+	// would make this test vacuous.
+	if funcs < 300 {
+		t.Errorf("probe visited only %d function bodies; expected the full module (300+)", funcs)
+	}
+}

@@ -1,0 +1,250 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Lattice drives the generic forward solver: abstract states of type S
+// form a join-semilattice, and Transfer pushes a state through one block.
+type Lattice[S any] interface {
+	// Bottom is the initial (empty) state of every block.
+	Bottom() S
+	// Entry is the state flowing into the entry block.
+	Entry() S
+	// Join combines two incoming states. It must not mutate its inputs.
+	Join(a, b S) S
+	// Equal reports whether two states carry the same information.
+	Equal(a, b S) bool
+	// Transfer computes the out-state of a block from its in-state. It
+	// must not mutate in.
+	Transfer(b *Block, in S) S
+}
+
+// A BranchLattice additionally adapts states along the true/false edges of
+// condition blocks (blocks with Cond set): succIdx 0 is the true edge,
+// 1 the false edge.
+type BranchLattice[S any] interface {
+	Lattice[S]
+	FlowBranch(b *Block, succIdx int, out S) S
+}
+
+// A Solution holds the fixed point of a forward analysis.
+type Solution[S any] struct {
+	In, Out map[*Block]S
+	// Iterations counts block transfers executed before the fixed point.
+	Iterations int
+	// Converged is false only if the iteration cap was hit, which means
+	// the lattice is broken (non-monotone Transfer or unbounded height).
+	Converged bool
+}
+
+// Forward runs a forward dataflow analysis to its fixed point with a
+// worklist. The iteration cap is generous (lattices here have height
+// bounded by the number of objects in a function); hitting it is a bug in
+// the lattice, reported via Converged.
+func Forward[S any](g *CFG, lat Lattice[S]) *Solution[S] {
+	sol := &Solution[S]{
+		In:        make(map[*Block]S, len(g.Blocks)),
+		Out:       make(map[*Block]S, len(g.Blocks)),
+		Converged: true,
+	}
+	for _, b := range g.Blocks {
+		sol.In[b] = lat.Bottom()
+		sol.Out[b] = lat.Bottom()
+	}
+	branch, isBranch := lat.(BranchLattice[S])
+
+	// Predecessor lists, to recompute joins exactly.
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	inWork := make([]bool, len(g.Blocks))
+	work := make([]*Block, 0, len(g.Blocks))
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	cap := 64*len(g.Blocks)*len(g.Blocks) + 4096
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		in := lat.Bottom()
+		if b.Index == 0 {
+			in = lat.Join(in, lat.Entry())
+		}
+		for _, p := range preds[b] {
+			edgeState := sol.Out[p]
+			if isBranch && p.Cond != nil {
+				for i, s := range p.Succs {
+					if s == b {
+						edgeState = branch.FlowBranch(p, i, edgeState)
+						break
+					}
+				}
+			}
+			in = lat.Join(in, edgeState)
+		}
+		sol.In[b] = in
+		out := lat.Transfer(b, in)
+		sol.Iterations++
+		if sol.Iterations > cap {
+			sol.Converged = false
+			return sol
+		}
+		if !lat.Equal(out, sol.Out[b]) {
+			sol.Out[b] = out
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return sol
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions
+
+// A Def is one definition site of an object. Site is nil for definitions
+// flowing in at function entry (parameters, captured variables).
+type Def struct {
+	Obj  types.Object
+	Site ast.Node
+}
+
+// DefState maps each object to the set of definitions that may reach a
+// program point.
+type DefState map[types.Object]map[ast.Node]bool
+
+// defsLattice is the reaching-definitions instance of the forward solver.
+type defsLattice struct {
+	info   *types.Info
+	params []types.Object
+}
+
+func (l *defsLattice) Bottom() DefState { return nil }
+
+func (l *defsLattice) Entry() DefState {
+	s := make(DefState, len(l.params))
+	for _, p := range l.params {
+		s[p] = map[ast.Node]bool{nil: true}
+	}
+	return s
+}
+
+// Join merges two states into a fresh map. It must never return either
+// input: Transfer mutates the joined state in place, and an aliased return
+// would let those mutations corrupt a predecessor's out-state.
+func (l *defsLattice) Join(a, b DefState) DefState {
+	out := make(DefState, len(a)+len(b))
+	for obj, sites := range a {
+		m := make(map[ast.Node]bool, len(sites))
+		for s := range sites {
+			m[s] = true
+		}
+		out[obj] = m
+	}
+	for obj, sites := range b {
+		m := out[obj]
+		if m == nil {
+			m = make(map[ast.Node]bool, len(sites))
+			out[obj] = m
+		}
+		for s := range sites {
+			m[s] = true
+		}
+	}
+	return out
+}
+
+func (l *defsLattice) Equal(a, b DefState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, as := range a {
+		bs, ok := b[obj]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for s := range as {
+			if !bs[s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (l *defsLattice) Transfer(b *Block, in DefState) DefState {
+	out := l.Join(nil, in) // copy
+	if out == nil {
+		out = make(DefState)
+	}
+	gen := func(id *ast.Ident, site ast.Node) {
+		obj := l.objectOf(id)
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		out[obj] = map[ast.Node]bool{site: true} // strong update
+	}
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					gen(id, n)
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							gen(id, n)
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				gen(id, n)
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				gen(id, n)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				gen(id, n)
+			}
+		}
+	}
+	return out
+}
+
+func (l *defsLattice) objectOf(id *ast.Ident) types.Object {
+	if obj := l.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return l.info.Uses[id]
+}
+
+// ReachingDefs computes, for every block, the definitions of each variable
+// that may reach its entry. params are seeded as defined-at-entry (Site
+// nil). Assignments to identifiers are strong updates; writes through
+// pointers or to fields are not tracked (callers needing them use the taint
+// lattice's field handling instead).
+func ReachingDefs(g *CFG, info *types.Info, params []types.Object) *Solution[DefState] {
+	return Forward[DefState](g, &defsLattice{info: info, params: params})
+}

@@ -2,12 +2,14 @@ package analysis
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -63,7 +65,7 @@ func Main(analyzers ...*Analyzer) {
 
 // version participates in the go command's content hash for cached vet
 // results; bump it when analyzer behaviour changes.
-const version = "repolint-1.0"
+const version = "repolint-2.0"
 
 func runUnit(cfgPath string, analyzers []*Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
@@ -129,13 +131,27 @@ func runUnit(cfgPath string, analyzers []*Analyzer) int {
 	return 0
 }
 
-func runStandalone(patterns []string, analyzers []*Analyzer) int {
+func runStandalone(args []string, analyzers []*Analyzer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	basePath := fs.String("baseline", "",
+		"ratchet per-analyzer finding counts against this JSON file")
+	writeBase := fs.Bool("write-baseline", false,
+		"rewrite -baseline with the current counts")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+
 	units, err := LoadPackages(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	exit := 0
+	counts := make(map[string]int, len(analyzers))
+	for _, a := range analyzers {
+		counts[a.Name] = 0
+	}
 	for _, u := range units {
 		diags, err := u.Analyze(analyzers)
 		if err != nil {
@@ -145,10 +161,76 @@ func runStandalone(patterns []string, analyzers []*Analyzer) int {
 		}
 		for _, d := range diags {
 			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+			counts[d.Analyzer]++
 		}
-		if len(diags) > 0 {
+		if len(diags) > 0 && *basePath == "" {
 			exit = 2
 		}
 	}
+	if *basePath != "" {
+		if rc := ratchet(*basePath, counts, *writeBase); rc != 0 {
+			return rc
+		}
+	}
 	return exit
+}
+
+// baselineFile is the REPOLINT_BASELINE.json schema: a finding-count floor
+// per analyzer. Counts only go down — any analyzer reporting more findings
+// than its entry (or missing from the file entirely) fails the ratchet, and
+// improvements are flagged so the floor gets tightened.
+type baselineFile struct {
+	Analyzers map[string]int `json:"analyzers"`
+}
+
+// ratchet compares the run's per-analyzer counts against the baseline file.
+// With write set it records the current counts as the new floor instead.
+func ratchet(path string, counts map[string]int, write bool) int {
+	if write {
+		// encoding/json emits map keys sorted, so the file is stable.
+		data, err := json.MarshalIndent(baselineFile{Analyzers: counts}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "repolint: wrote baseline %s\n", path)
+		return 0
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", path, err)
+		return 1
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rc := 0
+	for _, name := range names {
+		limit, known := base.Analyzers[name]
+		switch {
+		case !known && counts[name] > 0:
+			fmt.Fprintf(os.Stderr, "repolint: ratchet: %q is not in the baseline: %d findings\n",
+				name, counts[name])
+			rc = 2
+		case counts[name] > limit:
+			fmt.Fprintf(os.Stderr, "repolint: ratchet: %q regressed: %d findings, baseline %d\n",
+				name, counts[name], limit)
+			rc = 2
+		case counts[name] < limit:
+			fmt.Fprintf(os.Stderr, "repolint: ratchet: %q improved: %d findings, baseline %d (tighten with -write-baseline)\n",
+				name, counts[name], limit)
+		}
+	}
+	return rc
 }

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The ratchet only moves one way: counts at or under the baseline pass,
+// anything over — or any analyzer missing from the file — fails.
+func TestRatchet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+
+	counts := map[string]int{"locksafe": 2, "goleak": 0}
+	if rc := ratchet(path, counts, true); rc != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0", rc)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("written baseline is not valid JSON: %v", err)
+	}
+	if base.Analyzers["locksafe"] != 2 || base.Analyzers["goleak"] != 0 {
+		t.Fatalf("written baseline = %v, want locksafe:2 goleak:0", base.Analyzers)
+	}
+
+	cases := []struct {
+		name   string
+		counts map[string]int
+		want   int
+	}{
+		{"at the floor", map[string]int{"locksafe": 2, "goleak": 0}, 0},
+		{"improved", map[string]int{"locksafe": 1, "goleak": 0}, 0},
+		{"regressed", map[string]int{"locksafe": 3, "goleak": 0}, 2},
+		{"unknown analyzer with findings", map[string]int{"locksafe": 2, "randtaint": 1}, 2},
+		{"unknown analyzer clean", map[string]int{"locksafe": 2, "randtaint": 0}, 0},
+	}
+	for _, tc := range cases {
+		if rc := ratchet(path, tc.counts, false); rc != tc.want {
+			t.Errorf("%s: ratchet exit = %d, want %d", tc.name, rc, tc.want)
+		}
+	}
+
+	if rc := ratchet(filepath.Join(dir, "missing.json"), counts, false); rc != 1 {
+		t.Error("missing baseline file should be a hard error, not a pass")
+	}
+}

@@ -132,6 +132,10 @@ type Server struct {
 	inner oracle.Oracle
 	mu    sync.Mutex // serializes Eval for non-Forker oracles only
 
+	// handlers counts in-flight connection goroutines so Wait can drain
+	// them after the listener closes.
+	handlers sync.WaitGroup
+
 	// V1Only disables the v2 protocol, emulating an old server: "proto"
 	// and "batch" commands get "error:" replies. Useful for testing client
 	// fallback and for byte-exact contest emulation.
@@ -149,16 +153,26 @@ type Server struct {
 func NewServer(o oracle.Oracle) *Server { return &Server{inner: o} }
 
 // Serve accepts connections until the listener is closed. It returns the
-// listener's error (net.ErrClosed after a clean shutdown).
+// listener's error (net.ErrClosed after a clean shutdown). Handler
+// goroutines may still be draining when Serve returns; Wait blocks until
+// they finish.
 func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go s.handle(conn)
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(conn)
+		}()
 	}
 }
+
+// Wait blocks until every connection handler started by Serve has
+// returned. Call it after closing the listener for a clean shutdown.
+func (s *Server) Wait() { s.handlers.Wait() }
 
 // deadlineConn arms a read deadline before every Read so a silent peer
 // cannot block a handler forever. Write deadlines ride along: a peer that
