@@ -5,6 +5,16 @@
 //	iogen -case case_16 -listen 127.0.0.1:9000
 //	iogen -netlist golden.net -listen :9000
 //
+// With -serve it becomes the multi-tenant learning service: protocol v3
+// sessions, a bounded learn-job queue with cancel/resume, per-tenant
+// admission control, and an optional HTTP metrics endpoint:
+//
+//	iogen -case case_16 -serve -metrics 127.0.0.1:9090
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes immediately (new
+// connections are refused), in-flight handlers get -drain-timeout to
+// finish, then stragglers are severed.
+//
 // For fault drills the served black box and the transport can both
 // misbehave on a deterministic, seeded schedule:
 //
@@ -22,6 +32,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"logicregression/internal/cases"
@@ -29,6 +41,8 @@ import (
 	"logicregression/internal/circuit"
 	"logicregression/internal/ioserve"
 	"logicregression/internal/oracle"
+	"logicregression/internal/serve"
+	"logicregression/internal/serve/metrics"
 )
 
 func main() {
@@ -36,8 +50,15 @@ func main() {
 		caseName    = flag.String("case", "", "built-in case name (case_1..case_20)")
 		netlist     = flag.String("netlist", "", "netlist file to serve")
 		listen      = flag.String("listen", "127.0.0.1:9000", "listen address")
-		proto       = flag.Int("proto", 2, "highest protocol version to speak (1 = v1-only line protocol, 2 = allow batch framing)")
+		proto       = flag.Int("proto", 2, "highest protocol version to speak (1 = v1-only line protocol, 2 = allow batch framing); -serve raises this to 3")
 		readTimeout = flag.Duration("read-timeout", 2*time.Minute, "per-read deadline on client connections (0 = none); a stuck client is dropped instead of pinning a handler")
+
+		metricsAddr  = flag.String("metrics", "", "serve /metrics and /healthz over HTTP on this address (requires -serve)")
+		serveEnable  = flag.Bool("serve", false, "enable the multi-tenant learning service (protocol v3: sessions, learn jobs, admission control)")
+		serveWorkers = flag.Int("serve-workers", 0, "learn-job worker concurrency (0 = GOMAXPROCS)")
+		serveQueue   = flag.Int("serve-queue", 0, "learn-job queue depth (0 = default 64)")
+		serveJobs    = flag.Int("serve-jobs-per-tenant", 0, "max active learn jobs per tenant (0 = default 4)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight handlers before severing them")
 
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the injected-fault schedule")
 		chaosErrRate  = flag.Float64("chaos-err-rate", 0, "probability per query exchange of an injected transient error reply")
@@ -118,10 +139,75 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iogen: unsupported -proto %d (want 1 or 2)\n", *proto)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "iogen: serving %d-in/%d-out black box on %s (proto <= %d)\n",
-		o.NumInputs(), o.NumOutputs(), ln.Addr(), *proto)
-	if err := srv.Serve(ln); err != nil {
-		fmt.Fprintln(os.Stderr, "iogen:", err)
+
+	var svc *serve.Service
+	maxProto := *proto
+	if *serveEnable {
+		if *proto == 1 {
+			fmt.Fprintln(os.Stderr, "iogen: -serve needs batch framing; drop -proto 1")
+			os.Exit(1)
+		}
+		svc = serve.New(o, serve.Config{
+			Workers:          *serveWorkers,
+			QueueDepth:       *serveQueue,
+			MaxJobsPerTenant: *serveJobs,
+		})
+		srv.Ext = svc.Wire()
+		maxProto = serve.WireProto
+	} else if *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "iogen: -metrics requires -serve")
 		os.Exit(1)
+	}
+
+	metricsStop := make(chan struct{})
+	var metricsDone <-chan struct{}
+	if *metricsAddr != "" {
+		addr, done, err := metrics.ListenAndServe(*metricsAddr, svc.Registry(), svc.Healthy, metricsStop)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iogen: metrics:", err)
+			os.Exit(1)
+		}
+		metricsDone = done
+		fmt.Fprintf(os.Stderr, "iogen: metrics on http://%s/metrics\n", addr)
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the listener (new
+	// connections refused), gives in-flight handlers the drain window, then
+	// severs stragglers. The signal goroutine owns the whole teardown and
+	// closes drained when the server is quiet.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	draining := make(chan struct{})
+	drained := make(chan struct{})
+	go func() {
+		<-sigCh
+		close(draining)
+		fmt.Fprintf(os.Stderr, "iogen: draining (up to %s)...\n", *drainTimeout)
+		srv.Shutdown(ln, *drainTimeout)
+		close(drained)
+	}()
+
+	fmt.Fprintf(os.Stderr, "iogen: serving %d-in/%d-out black box on %s (proto <= %d)\n",
+		o.NumInputs(), o.NumOutputs(), ln.Addr(), maxProto)
+	serveErr := srv.Serve(ln)
+
+	select {
+	case <-draining:
+		// Signal-initiated: wait out the drain, then stop the service and
+		// the metrics endpoint.
+		<-drained
+		if svc != nil {
+			svc.Drain()
+		}
+		close(metricsStop)
+		if metricsDone != nil {
+			<-metricsDone
+		}
+		fmt.Fprintln(os.Stderr, "iogen: drained, bye")
+	default:
+		if serveErr != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", serveErr)
+			os.Exit(1)
+		}
 	}
 }

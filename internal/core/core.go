@@ -82,6 +82,19 @@ type Options struct {
 	// <= 1 keeps the paper-faithful sequential path). The oracle must be
 	// safe for concurrent Eval calls.
 	Parallel int
+	// Progress, when set, receives a checkpoint event at each output
+	// boundary of the learn (see progress.go). Handlers run synchronously
+	// on the learner's goroutine and must not block. Installing a handler
+	// never changes the learning trajectory: a learn with Progress set is
+	// byte-identical to one without.
+	Progress func(Progress)
+	// Cancel, when non-nil, is watched at output boundaries: closing the
+	// channel makes the learn finish the output in flight, emit the
+	// remaining outputs as constants marked MethodCanceled, skip
+	// refinement and optimization, and return with Result.Canceled set.
+	// Close the channel to cancel — a one-shot send would be consumed by a
+	// single boundary check and later checks would miss it.
+	Cancel <-chan struct{}
 	// MemoizeQueries caches black-box responses by assignment in a bounded
 	// LRU (oracle.Memo). Worth it when queries are expensive (e.g. a
 	// remote iogen); batched queries stay batched — the cache forwards
@@ -125,6 +138,10 @@ const (
 	// the black box died permanently mid-learn; it is emitted as a
 	// constant so the netlist stays well-formed.
 	MethodDegraded Method = "degraded"
+	// MethodCanceled marks an output skipped because the learn was
+	// cancelled (Options.Cancel) before reaching it; like MethodDegraded
+	// it is emitted as a constant so the netlist stays well-formed.
+	MethodCanceled Method = "canceled"
 )
 
 // OutputReport describes one learned output.
@@ -163,6 +180,11 @@ type Result struct {
 	Degraded bool
 	// DegradedReason is the transport error that killed the run.
 	DegradedReason string
+	// Canceled is set when Options.Cancel fired mid-learn: the circuit is
+	// partial (unreached outputs are constants marked MethodCanceled) and
+	// unoptimized. Rerun with the same seed and options to resume — over a
+	// memoized oracle the rerun replays the paid queries from cache.
+	Canceled bool
 }
 
 // catchFailure runs f, recovering a *oracle.Failure panic — the typed
@@ -226,6 +248,7 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 			matches = template.Matches{}
 		}
 	}
+	report(&opts, Progress{Phase: PhaseTemplates, Total: nOut})
 	compByOut := make(map[int]template.CompMatch)
 	for _, cm := range matches.Comparators {
 		compByOut[cm.Out] = cm
@@ -296,7 +319,17 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 		var sig circuit.Signal
 		var sup []int
 
+		if !res.Canceled && cancelled(&opts) {
+			res.Canceled = true
+		}
 		switch {
+		case res.Canceled:
+			// Cancelled before reaching this output: emit a placeholder
+			// constant so the netlist stays well-formed. The resume path
+			// re-runs the whole learn (deterministic, memo-backed), so
+			// nothing done here is load-bearing.
+			sig = c.Const(false)
+			rep.Method = MethodCanceled
 		case !opts.DisablePreprocessing && hasComp(compByOut, po):
 			cm := compByOut[po]
 			sig = cm.Synthesize(c, piSigs)
@@ -356,15 +389,21 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 		c.AddPO(outNames[po], sig)
 		supports[po] = sup
 		res.Outputs = append(res.Outputs, rep)
+		report(&opts, Progress{Phase: PhaseOutput, Output: po + 1, Total: nOut, Name: outNames[po]})
 	}
 
-	if opts.RefineRounds > 0 && !res.Degraded {
+	if opts.RefineRounds > 0 && !res.Degraded && !res.Canceled {
 		// A death mid-refinement keeps the current circuit: every
 		// SetPODriver so far was a completed improvement.
 		if f := catchFailure(func() {
 			refine(c, counter, res.Outputs, supports, opts, deadline, rng)
 		}); f != nil {
 			res.degrade(f)
+		}
+		// A cancel that lands mid-refinement must not masquerade as a
+		// completed learn: mark it so the caller knows to resume.
+		if cancelled(&opts) {
+			res.Canceled = true
 		}
 	}
 
@@ -381,7 +420,8 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 			panic("core: learned circuit: " + err.Error())
 		}
 	}
-	if !opts.DisableOptimization {
+	if !opts.DisableOptimization && !res.Canceled {
+		report(&opts, Progress{Phase: PhaseOptimize, Output: nOut, Total: nOut})
 		optCfg := opts.Opt
 		if optCfg.Seed == 0 {
 			optCfg.Seed = opts.Seed + 1
@@ -398,6 +438,7 @@ func Learn(o oracle.Oracle, opts Options) *Result {
 	res.Size = c.Size()
 	res.Queries = counter.Queries()
 	res.Elapsed = time.Since(start)
+	report(&opts, Progress{Phase: PhaseDone, Output: nOut, Total: nOut})
 	return res
 }
 
@@ -579,6 +620,9 @@ func (r *Result) String() string {
 		r.Size, r.SizeBeforeOpt, r.Queries, r.TemplateMatches, len(r.Outputs), r.Elapsed.Round(time.Millisecond))
 	if r.Degraded {
 		s += fmt.Sprintf(" DEGRADED (%s)", r.DegradedReason)
+	}
+	if r.Canceled {
+		s += " CANCELED"
 	}
 	return s
 }

@@ -1,0 +1,68 @@
+package core
+
+// Progress and cancellation hooks on Learn — the observability seams the
+// multi-tenant serving layer (internal/serve) builds its job queue on.
+//
+// Both hooks are passive with respect to the learning trajectory: they
+// never issue queries, never touch the RNG, and fire only at output
+// boundaries, so a learn with hooks installed is byte-identical to one
+// without. Cancellation is likewise boundary-grained: a cancelled learn
+// finishes the output it is on, emits the remaining outputs as constants
+// marked MethodCanceled (the netlist stays well-formed and verifiable),
+// skips refinement and optimization, and returns with Result.Canceled set.
+//
+// Resume is re-execution, not checkpointing: rerun Learn with the same seed
+// and options against the same black box and the result is byte-identical
+// by determinism. Stack an oracle.Memo over the black box and the rerun
+// replays every previously answered query from cache — the same
+// memo-replay machinery that makes fixed-seed learns survive connection
+// drops (see ioserve.ResilientClient) makes a cancel/resume cycle cheap.
+
+// Phase labels the pipeline stage a Progress event reports on.
+type Phase string
+
+// Progress phases, in pipeline order.
+const (
+	// PhaseTemplates fires once after name grouping + template matching.
+	PhaseTemplates Phase = "templates"
+	// PhaseOutput fires after each primary output is settled.
+	PhaseOutput Phase = "output"
+	// PhaseRefine fires after each counterexample-guided refinement round.
+	PhaseRefine Phase = "refine"
+	// PhaseOptimize fires when the optimization pipeline starts.
+	PhaseOptimize Phase = "optimize"
+	// PhaseDone fires once, last, with the final output counts.
+	PhaseDone Phase = "done"
+)
+
+// Progress is one checkpoint of a running learn, delivered synchronously on
+// the learner's goroutine: a slow handler slows the learn, so keep handlers
+// cheap (bump a counter, post to a buffered channel).
+type Progress struct {
+	// Phase is the stage the event reports on.
+	Phase Phase
+	// Output is the number of primary outputs settled so far.
+	Output int
+	// Total is the number of primary outputs of the black box.
+	Total int
+	// Name is the port name of the output just settled (PhaseOutput only).
+	Name string
+}
+
+// report delivers a progress event when a handler is installed.
+func report(opts *Options, ev Progress) {
+	if opts.Progress != nil {
+		opts.Progress(ev)
+	}
+}
+
+// cancelled reports whether the cancel channel is closed (or has a value
+// pending). A nil channel — the default — never cancels.
+func cancelled(opts *Options) bool {
+	select {
+	case <-opts.Cancel:
+		return true
+	default:
+		return false
+	}
+}

@@ -42,12 +42,18 @@ func refine(c *circuit.Circuit, counter *oracle.Counter, reports []OutputReport,
 	}
 	relearned := 0
 	for round := 0; round < opts.RefineRounds; round++ {
+		if cancelled(&opts) {
+			return relearned
+		}
 		witnesses := findMismatches(c, counter, patterns, rng)
 		if len(witnesses) == 0 {
 			return relearned
 		}
 		for po, ws := range witnesses {
 			if !deadline.IsZero() && time.Now().After(deadline) {
+				return relearned
+			}
+			if cancelled(&opts) {
 				return relearned
 			}
 			// Augment the support with inputs whose toggle flips the
@@ -100,6 +106,7 @@ func refine(c *circuit.Circuit, counter *oracle.Counter, reports []OutputReport,
 			c.SetPODriver(po, sig)
 			relearned++
 		}
+		report(&opts, Progress{Phase: PhaseRefine, Output: c.NumPO(), Total: c.NumPO()})
 	}
 	return relearned
 }

@@ -122,6 +122,32 @@ func transportErr(err error) error {
 	return oracle.Transient(err)
 }
 
+// Extension hooks service-level commands into the wire protocol: a server
+// with an extension installed advertises the extension's protocol level
+// during "proto" negotiation and consults it for any command line the core
+// protocol does not recognize on sessions that negotiated level 3 or above.
+// The multi-tenant learning service (internal/serve) is the canonical
+// extension: it adds session, learn-job, and stats verbs on top of the
+// query protocol without this package knowing any of their grammar.
+//
+// Extensions must be safe for concurrent calls: every connection handler
+// goroutine dispatches into the same Extension value.
+type Extension interface {
+	// MaxProto is the highest protocol version the extension speaks
+	// (>= 3; versions 1 and 2 are owned by the core protocol).
+	MaxProto() int
+	// Handle processes one command line on a connection that negotiated
+	// protocol >= 3. It returns handled=false to fall through to the core
+	// protocol (which will treat the line as a v1 bit-string query), and
+	// keep=false to drop the connection (an unrecoverable stream state).
+	// Handle replies via c.Reply / c.ReplyLines.
+	Handle(c *Conn, line string) (handled, keep bool)
+	// ConnClosed runs when a connection's protocol loop exits, however it
+	// exits; extensions release per-connection bindings (session
+	// attachments) here. It is called at most once per connection.
+	ConnClosed(c *Conn)
+}
+
 // Server serves a wrapped oracle to any number of concurrent clients.
 //
 // Connections do not serialize each other when the oracle can hand out
@@ -136,6 +162,11 @@ type Server struct {
 	// them after the listener closes.
 	handlers sync.WaitGroup
 
+	// connMu guards conns, the live sockets Shutdown force-closes when a
+	// drain deadline expires.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	// V1Only disables the v2 protocol, emulating an old server: "proto"
 	// and "batch" commands get "error:" replies. Useful for testing client
 	// fallback and for byte-exact contest emulation.
@@ -147,6 +178,11 @@ type Server struct {
 	// forever. Combined with the MaxFrame guard and the bounded line
 	// scanner this caps the resources any one connection can hold.
 	ReadTimeout time.Duration
+
+	// Ext, when non-nil, extends the protocol with service-level verbs
+	// (see Extension). Set it before Serve; it must not change while
+	// connections are live.
+	Ext Extension
 }
 
 // NewServer wraps an oracle for serving.
@@ -155,7 +191,7 @@ func NewServer(o oracle.Oracle) *Server { return &Server{inner: o} }
 // Serve accepts connections until the listener is closed. It returns the
 // listener's error (net.ErrClosed after a clean shutdown). Handler
 // goroutines may still be draining when Serve returns; Wait blocks until
-// they finish.
+// they finish (or use Shutdown for a bounded drain).
 func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
@@ -173,6 +209,65 @@ func (s *Server) Serve(ln net.Listener) error {
 // Wait blocks until every connection handler started by Serve has
 // returned. Call it after closing the listener for a clean shutdown.
 func (s *Server) Wait() { s.handlers.Wait() }
+
+// trackConn registers a live socket for Shutdown's force-close path.
+func (s *Server) trackConn(c net.Conn) {
+	s.connMu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+// untrackConn removes a socket once its handler exits.
+func (s *Server) untrackConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// CloseActiveConns severs every live client connection and returns how many
+// it closed. In-flight handlers observe the close as a read/write error and
+// exit; use it when a graceful drain must be cut short.
+func (s *Server) CloseActiveConns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+	n := len(s.conns)
+	return n
+}
+
+// Shutdown closes the listener (new connections stop being accepted; the
+// blocked Serve call returns net.ErrClosed), then drains in-flight
+// handlers. A positive drain bounds the wait: handlers still running when
+// it expires have their connections severed and are then waited for. A
+// non-positive drain waits indefinitely — with ReadTimeout armed even idle
+// clients are eventually dropped, so the wait terminates. The returned
+// error is the listener's Close error, if any.
+func (s *Server) Shutdown(ln net.Listener, drain time.Duration) error {
+	err := ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	if drain > 0 {
+		t := time.NewTimer(drain)
+		select {
+		case <-done:
+			t.Stop()
+		case <-t.C:
+			s.CloseActiveConns()
+			<-done
+		}
+	} else {
+		<-done
+	}
+	return err
+}
 
 // deadlineConn arms a read deadline before every Read so a silent peer
 // cannot block a handler forever. Write deadlines ride along: a peer that
@@ -197,6 +292,8 @@ func (c *deadlineConn) Write(p []byte) (int, error) {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.trackConn(conn)
+	defer s.untrackConn(conn)
 	defer conn.Close()
 	var stream io.ReadWriter = conn
 	if s.ReadTimeout > 0 {
@@ -205,10 +302,119 @@ func (s *Server) handle(conn net.Conn) {
 	s.serveStream(stream)
 }
 
+// Conn is the server side of one protocol session: the byte stream plus the
+// per-connection state the protocol loop threads through commands. The core
+// protocol owns the query paths; extensions see the Conn in Handle and may
+// rebind its oracle (BindOracle) so subsequent queries are answered — and
+// accounted — by a service-level session.
+type Conn struct {
+	srv *Server
+	w   *bufio.Writer
+	sc  *bufio.Scanner
+
+	proto  int // negotiated protocol level (1 until a "proto" exchange)
+	o      oracle.Oracle
+	fo     oracle.FallibleBatch
+	locked bool // serialize evals on srv.mu (non-Forker oracle)
+	nIn    int
+
+	// State is extension scratch (e.g. the attached session); the core
+	// protocol never touches it.
+	State any
+}
+
+// Proto returns the negotiated protocol level of this connection.
+func (c *Conn) Proto() int { return c.proto }
+
+// Oracle returns the oracle currently answering this connection's queries.
+func (c *Conn) Oracle() oracle.Oracle { return c.o }
+
+// BindOracle reroutes the connection's query paths through o, which must
+// describe the same black box (identical port arities). Extensions use it
+// to bind a connection to a session-owned oracle so queries hit the
+// session's cache and accounting. The bound oracle must be safe for use by
+// this connection's handler goroutine without the server's fallback lock.
+func (c *Conn) BindOracle(o oracle.Oracle) {
+	c.o = o
+	c.fo = oracle.AsFallible(o)
+	c.locked = false
+	c.nIn = o.NumInputs()
+}
+
+// Reply writes one protocol line and flushes it, reporting whether the
+// connection is still usable.
+func (c *Conn) Reply(line string) bool {
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return false
+	}
+	return c.w.Flush() == nil
+}
+
+// ReplyLines writes a multi-line reply under a single flush (one network
+// write for a whole result frame).
+func (c *Conn) ReplyLines(lines []string) bool {
+	for _, line := range lines {
+		if _, err := c.w.WriteString(line + "\n"); err != nil {
+			return false
+		}
+	}
+	return c.w.Flush() == nil
+}
+
+// ReadLine consumes one further line of the current command (for verbs
+// with multi-line bodies). ok=false means the stream died.
+func (c *Conn) ReadLine() (line string, ok bool) {
+	if !c.sc.Scan() {
+		return "", false
+	}
+	return strings.TrimSpace(c.sc.Text()), true
+}
+
+// replyEvalErr renders an oracle failure on the wire; it returns false
+// when the connection must be dropped (write failure or a permanently
+// dead oracle).
+func (c *Conn) replyEvalErr(err error) bool {
+	if oracle.IsTransient(err) {
+		return c.Reply(fmt.Sprintf("error: transient: %v", err))
+	}
+	c.Reply(fmt.Sprintf("error: fatal: %v", err))
+	return false
+}
+
+// evalScalar answers one query through the bound oracle, under the server
+// lock when the oracle cannot fork.
+func (c *Conn) evalScalar(a []bool) ([]bool, error) {
+	if c.locked {
+		c.srv.mu.Lock()
+		defer c.srv.mu.Unlock()
+	}
+	return c.fo.TryEval(a)
+}
+
+// evalBatch answers one batch frame through the bound oracle.
+func (c *Conn) evalBatch(lanes []bitvec.Word, n int) ([]bitvec.Word, error) {
+	if c.locked {
+		c.srv.mu.Lock()
+		defer c.srv.mu.Unlock()
+	}
+	return c.fo.TryEvalBatch(lanes, n)
+}
+
+// maxProto is the highest protocol level this server will grant.
+func (s *Server) maxProto() int {
+	maxP := 2
+	if s.Ext != nil {
+		if m := s.Ext.MaxProto(); m > maxP {
+			maxP = m
+		}
+	}
+	return maxP
+}
+
 // serveStream speaks the wire protocol over any byte stream. Separating it
 // from the connection lifecycle lets tests and the frame-parser fuzz target
 // drive the protocol without sockets.
-func (s *Server) serveStream(conn io.ReadWriter) {
+func (s *Server) serveStream(stream io.ReadWriter) {
 	// Per-connection oracle handle: forkable oracles run lock-free in
 	// parallel across connections; stateful ones share the server lock.
 	o := s.inner
@@ -217,74 +423,57 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 		o = f.Fork()
 		locked = false
 	}
-	fo := oracle.AsFallible(o)
-	evalScalar := func(a []bool) ([]bool, error) {
-		if locked {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-		}
-		return fo.TryEval(a)
+	c := &Conn{
+		srv:    s,
+		w:      bufio.NewWriter(stream),
+		sc:     bufio.NewScanner(stream),
+		proto:  1,
+		o:      o,
+		fo:     oracle.AsFallible(o),
+		locked: locked,
+		nIn:    o.NumInputs(),
 	}
-	evalBatch := func(lanes []bitvec.Word, n int) ([]bitvec.Word, error) {
-		if locked {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-		}
-		return fo.TryEvalBatch(lanes, n)
+	c.sc.Buffer(make([]byte, 1<<16), defaultMaxReply)
+	if s.Ext != nil {
+		defer s.Ext.ConnClosed(c)
 	}
-
-	w := bufio.NewWriter(conn)
-	fmt.Fprintf(w, "inputs %s\n", strings.Join(o.InputNames(), " "))
-	fmt.Fprintf(w, "outputs %s\n", strings.Join(o.OutputNames(), " "))
-	if w.Flush() != nil {
+	fmt.Fprintf(c.w, "inputs %s\n", strings.Join(o.InputNames(), " "))
+	fmt.Fprintf(c.w, "outputs %s\n", strings.Join(o.OutputNames(), " "))
+	if c.w.Flush() != nil {
 		return
 	}
-	nIn := o.NumInputs()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), defaultMaxReply)
-	reply := func(line string) bool {
-		if _, err := w.WriteString(line + "\n"); err != nil {
-			return false
-		}
-		return w.Flush() == nil
-	}
-	// replyEvalErr renders an oracle failure on the wire; it returns false
-	// when the connection must be dropped (write failure or a permanently
-	// dead oracle).
-	replyEvalErr := func(err error) bool {
-		if oracle.IsTransient(err) {
-			return reply(fmt.Sprintf("error: transient: %v", err))
-		}
-		reply(fmt.Sprintf("error: fatal: %v", err))
-		return false
-	}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for c.sc.Scan() {
+		line := strings.TrimSpace(c.sc.Text())
 		switch {
 		case line == "quit":
 			return
 
 		case strings.HasPrefix(line, "proto "):
 			if s.V1Only {
-				if !reply("error: unknown command") {
+				if !c.Reply("error: unknown command") {
 					return
 				}
 				continue
 			}
-			// Accept any version >= 2 at level 2 (the highest we speak).
-			if v, err := strconv.Atoi(strings.TrimPrefix(line, "proto ")); err != nil || v < 2 {
-				if !reply(fmt.Sprintf("error: unsupported protocol %q", strings.TrimPrefix(line, "proto "))) {
+			// Grant the lower of the requested and served levels; any
+			// request >= 2 succeeds (a v2-only client gets exactly "ok 2"
+			// back, byte-identical to the pre-extension protocol).
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "proto "))
+			if err != nil || v < 2 {
+				if !c.Reply(fmt.Sprintf("error: unsupported protocol %q", strings.TrimPrefix(line, "proto "))) {
 					return
 				}
 				continue
 			}
-			if !reply("ok 2") {
+			granted := min(v, s.maxProto())
+			c.proto = granted
+			if !c.Reply(fmt.Sprintf("ok %d", granted)) {
 				return
 			}
 
 		case strings.HasPrefix(line, "batch "):
 			if s.V1Only {
-				if !reply("error: unknown command") {
+				if !c.Reply("error: unknown command") {
 					return
 				}
 				continue
@@ -293,19 +482,19 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 			if err != nil || k < 1 || k > MaxFrame {
 				// The declared frame length cannot be trusted, so the
 				// stream cannot be resynchronized; drop the connection.
-				reply(fmt.Sprintf("error: bad batch size %q", strings.TrimPrefix(line, "batch ")))
+				c.Reply(fmt.Sprintf("error: bad batch size %q", strings.TrimPrefix(line, "batch ")))
 				return
 			}
 			// Consume all k query lines before validating, keeping the
 			// connection usable after a malformed line.
-			lanes := make([]bitvec.Word, nIn*oracle.Words(k))
+			lanes := make([]bitvec.Word, c.nIn*oracle.Words(k))
 			lw := oracle.Words(k)
 			var lineErr error
 			for q := 0; q < k; q++ {
-				if !sc.Scan() {
+				if !c.sc.Scan() {
 					return
 				}
-				a, err := parseBits(strings.TrimSpace(sc.Text()), nIn)
+				a, err := parseBits(strings.TrimSpace(c.sc.Text()), c.nIn)
 				if err != nil && lineErr == nil {
 					lineErr = fmt.Errorf("batch line %d: %v", q+1, err)
 				}
@@ -316,20 +505,20 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 				}
 			}
 			if lineErr != nil {
-				if !reply("error: " + lineErr.Error()) {
+				if !c.Reply("error: " + lineErr.Error()) {
 					return
 				}
 				continue
 			}
-			out, err := evalBatch(lanes, k)
+			out, err := c.evalBatch(lanes, k)
 			if err != nil {
-				if !replyEvalErr(err) {
+				if !c.replyEvalErr(err) {
 					return
 				}
 				continue
 			}
-			fmt.Fprintf(w, "batch %d\n", k)
-			nOut := o.NumOutputs()
+			fmt.Fprintf(c.w, "batch %d\n", k)
+			nOut := c.o.NumOutputs()
 			buf := make([]byte, nOut)
 			for q := 0; q < k; q++ {
 				for j := 0; j < nOut; j++ {
@@ -339,29 +528,38 @@ func (s *Server) serveStream(conn io.ReadWriter) {
 						buf[j] = '0'
 					}
 				}
-				w.Write(buf)
-				w.WriteByte('\n')
+				c.w.Write(buf)
+				c.w.WriteByte('\n')
 			}
-			if w.Flush() != nil {
+			if c.w.Flush() != nil {
 				return
 			}
 
 		default:
-			assign, err := parseBits(line, nIn)
+			if s.Ext != nil && c.proto >= 3 {
+				handled, keep := s.Ext.Handle(c, line)
+				if handled {
+					if !keep {
+						return
+					}
+					continue
+				}
+			}
+			assign, err := parseBits(line, c.nIn)
 			if err != nil {
-				if !reply(fmt.Sprintf("error: %v", err)) {
+				if !c.Reply(fmt.Sprintf("error: %v", err)) {
 					return
 				}
 				continue
 			}
-			res, err := evalScalar(assign)
+			res, err := c.evalScalar(assign)
 			if err != nil {
-				if !replyEvalErr(err) {
+				if !c.replyEvalErr(err) {
 					return
 				}
 				continue
 			}
-			if !reply(formatBits(res)) {
+			if !c.Reply(formatBits(res)) {
 				return
 			}
 		}
@@ -445,6 +643,13 @@ func DialWith(addr string, cfg DialConfig) (*Client, error) {
 	if err != nil {
 		return nil, transportErr(err)
 	}
+	return NewClientConn(conn, cfg)
+}
+
+// NewClientConn builds a client over an already-established connection —
+// an in-memory pipe, a proxied stream, anything net.Conn-shaped — and
+// performs the greeting handshake on it. Error paths close conn.
+func NewClientConn(conn net.Conn, cfg DialConfig) (*Client, error) {
 	c := &Client{
 		conn:  conn,
 		cfg:   cfg,
@@ -516,30 +721,77 @@ func (c *Client) TryUpgrade() bool {
 	return ok
 }
 
-// tryUpgradeErr is the error-returning upgrade negotiation.
+// tryUpgradeErr is the error-returning v2 upgrade negotiation.
 func (c *Client) tryUpgradeErr() (bool, error) {
-	if c.proto >= 2 {
-		return true, nil
+	v, err := c.UpgradeTo(2)
+	return v >= 2, err
+}
+
+// UpgradeTo negotiates protocol level v (>= 2) and returns the level the
+// session ends up on: the server grants the lower of the requested and
+// served levels, and a v1-only server (which answers the probe with an
+// "error:" line) leaves the session on 1, fully usable. Safe to call
+// multiple times; a session never downgrades. Service-level clients
+// (internal/serve) request 3 to unlock the extension verbs.
+func (c *Client) UpgradeTo(v int) (int, error) {
+	if v < 2 {
+		panic(fmt.Sprintf("ioserve: UpgradeTo(%d): levels below 2 are not negotiable", v))
+	}
+	if c.proto >= v {
+		return c.proto, nil
 	}
 	if err := c.usable(); err != nil {
-		return false, err
+		return 0, err
 	}
-	if err := c.send("proto 2\n"); err != nil {
-		return false, err
+	if err := c.send(fmt.Sprintf("proto %d\n", v)); err != nil {
+		return 0, err
 	}
 	line, err := c.readLineErr()
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	switch {
-	case line == "ok 2":
-		c.proto = 2
-		return true, nil
+	case strings.HasPrefix(line, "ok "):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "ok "))
+		if err != nil || n < 2 || n > v {
+			return 0, c.fail(transportErr(fmt.Errorf("ioserve: bad upgrade grant %q", line)))
+		}
+		if n > c.proto {
+			c.proto = n
+		}
+		return c.proto, nil
 	case strings.HasPrefix(line, "error:"):
-		return false, nil // old server: stay on v1
+		return c.proto, nil // old server: stay where we are
 	default:
-		return false, c.fail(transportErr(fmt.Errorf("ioserve: unexpected upgrade reply %q", line)))
+		return 0, c.fail(transportErr(fmt.Errorf("ioserve: unexpected upgrade reply %q", line)))
 	}
+}
+
+// Exchange sends one raw protocol line and returns the server's single-line
+// reply. It is the primitive service-level clients (internal/serve) build
+// their verbs on; the core query paths never go through it. Transport
+// failures poison the session and come back as errors (tagged transient
+// when a reconnect may help).
+func (c *Client) Exchange(cmd string) (string, error) {
+	if err := c.usable(); err != nil {
+		return "", err
+	}
+	if strings.ContainsAny(cmd, "\n\r") {
+		panic(fmt.Sprintf("ioserve: Exchange command contains a line break: %q", cmd))
+	}
+	if err := c.send(cmd + "\n"); err != nil {
+		return "", err
+	}
+	return c.readLineErr()
+}
+
+// ReadLine reads one additional reply line, for verbs whose replies span
+// multiple lines (a result frame after its header).
+func (c *Client) ReadLine() (string, error) {
+	if err := c.usable(); err != nil {
+		return "", err
+	}
+	return c.readLineErr()
 }
 
 // Proto returns the negotiated protocol version (1 or 2).

@@ -14,6 +14,7 @@ package oracle
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"logicregression/internal/bitvec"
 )
@@ -33,15 +34,20 @@ type Memo struct {
 	inner    Oracle
 	shards   []memoShard
 	capacity int // per shard
+
+	// Stats are memo-level atomics rather than per-shard fields so the
+	// serving metrics surface can read hit rates without touching a single
+	// shard lock (a snapshot may be taken thousands of times per second
+	// while every shard is under load).
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type memoShard struct {
-	mu        sync.Mutex
-	entries   map[string]*list.Element
-	order     *list.List // front = most recently used
-	hits      int64
-	misses    int64
-	evictions int64
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
 }
 
 type memoEntry struct {
@@ -93,46 +99,54 @@ func (o *Memo) shard(key string) *memoShard {
 	return &o.shards[h&uint32(len(o.shards)-1)]
 }
 
-// get returns the cached response and bumps recency.
-func (s *memoShard) get(key string) ([]bool, bool) {
+// get returns the cached response and bumps recency, accounting the probe
+// on the memo's atomic counters.
+func (o *Memo) get(s *memoShard, key string) ([]bool, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
 		s.order.MoveToFront(el)
-		s.hits++
-		return el.Value.(*memoEntry).out, true
+		out := el.Value.(*memoEntry).out
+		s.mu.Unlock()
+		o.hits.Add(1)
+		return out, true
 	}
-	s.misses++
+	s.mu.Unlock()
+	o.misses.Add(1)
 	return nil, false
 }
 
 // put inserts a response, evicting the least recently used entry beyond the
 // shard capacity. Concurrent racers inserting the same key are harmless: the
 // values are identical by determinism of the oracle.
-func (s *memoShard) put(key string, out []bool, capacity int) {
+func (o *Memo) put(s *memoShard, key string, out []bool) {
+	var evicted int64
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
 		s.order.MoveToFront(el)
+		s.mu.Unlock()
 		return
 	}
 	s.entries[key] = s.order.PushFront(&memoEntry{key: key, out: out})
-	for s.order.Len() > capacity {
+	for s.order.Len() > o.capacity {
 		last := s.order.Back()
 		s.order.Remove(last)
 		delete(s.entries, last.Value.(*memoEntry).key)
-		s.evictions++
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		o.evictions.Add(evicted)
 	}
 }
 
 func (o *Memo) Eval(a []bool) []bool {
 	key := assignKey(a)
 	s := o.shard(key)
-	if out, ok := s.get(key); ok {
+	if out, ok := o.get(s, key); ok {
 		return append([]bool(nil), out...)
 	}
 	v := o.inner.Eval(a)
-	s.put(key, append([]bool(nil), v...), o.capacity)
+	o.put(s, key, append([]bool(nil), v...))
 	return v
 }
 
@@ -165,7 +179,7 @@ func (o *Memo) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
 			ref[k] = m
 			continue
 		}
-		if v, ok := o.shard(key).get(key); ok {
+		if v, ok := o.get(o.shard(key), key); ok {
 			ref[k] = -1
 			scatterBools(out, w, k, v)
 			continue
@@ -187,7 +201,7 @@ func (o *Memo) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
 		patternBools(missOut, mw, nOut, m, v)
 		missVals[m] = v
 		key := assignKey(missAssign[m])
-		o.shard(key).put(key, v, o.capacity)
+		o.put(o.shard(key), key, v)
 	}
 	for k := 0; k < n; k++ {
 		if ref[k] >= 0 {
@@ -206,14 +220,14 @@ func scatterBools(out []bitvec.Word, w, k int, v []bool) {
 	}
 }
 
-// Hits returns the number of cache hits across all shards.
-func (o *Memo) Hits() int64 { return o.stat(func(s *memoShard) int64 { return s.hits }) }
+// Hits returns the number of cache hits so far.
+func (o *Memo) Hits() int64 { return o.hits.Load() }
 
-// Misses returns the number of cache misses across all shards.
-func (o *Memo) Misses() int64 { return o.stat(func(s *memoShard) int64 { return s.misses }) }
+// Misses returns the number of cache misses so far.
+func (o *Memo) Misses() int64 { return o.misses.Load() }
 
-// Evictions returns the number of entries evicted across all shards.
-func (o *Memo) Evictions() int64 { return o.stat(func(s *memoShard) int64 { return s.evictions }) }
+// Evictions returns the number of entries evicted so far.
+func (o *Memo) Evictions() int64 { return o.evictions.Load() }
 
 // Len returns the number of cached responses.
 func (o *Memo) Len() int {
@@ -227,13 +241,42 @@ func (o *Memo) Len() int {
 	return int(total)
 }
 
-func (o *Memo) stat(f func(*memoShard) int64) int64 {
-	var total int64
-	for i := range o.shards {
-		s := &o.shards[i]
-		s.mu.Lock()
-		total += f(s)
-		s.mu.Unlock()
+// MemoStats is a point-in-time snapshot of a memo's cache behaviour.
+type MemoStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before the first probe.
+func (s MemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
 	}
-	return total
+	return float64(s.Hits) / float64(total)
+}
+
+// Add returns the entrywise sum of two snapshots, for aggregating stats
+// across the per-session and per-job memos of a serving fleet.
+func (s MemoStats) Add(t MemoStats) MemoStats {
+	return MemoStats{
+		Hits:      s.Hits + t.Hits,
+		Misses:    s.Misses + t.Misses,
+		Evictions: s.Evictions + t.Evictions,
+		Entries:   s.Entries + t.Entries,
+	}
+}
+
+// Stats snapshots the counters. The counters are read atomically but not as
+// one unit: a snapshot taken under load may be off by in-flight probes,
+// which is fine for monitoring.
+func (o *Memo) Stats() MemoStats {
+	return MemoStats{
+		Hits:      o.hits.Load(),
+		Misses:    o.misses.Load(),
+		Evictions: o.evictions.Load(),
+		Entries:   o.Len(),
+	}
 }

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"logicregression/internal/circuit"
+	"logicregression/internal/core"
+	"logicregression/internal/ioserve"
+	"logicregression/internal/oracle"
+	"logicregression/internal/serve/metrics"
+)
+
+// marshalSnapshot renders a metrics snapshot as a single line (json.Marshal
+// never emits newlines).
+func marshalSnapshot(s metrics.Snapshot) (string, error) {
+	blob, err := json.Marshal(s)
+	return string(blob), err
+}
+
+// Client speaks protocol v3 to a learning service. It embeds the ioserve
+// client, so the plain oracle surface (Eval, batch queries) works too —
+// routed through the attached session once one is bound.
+//
+// Client is not safe for concurrent use; it owns one connection with
+// strict request/reply alternation. Open one per goroutine.
+type Client struct {
+	*ioserve.Client
+	sessionID string
+}
+
+// Dial connects and upgrades to protocol v3. It fails if the server does
+// not speak v3 (an un-extended ioserve server tops out at v2).
+func Dial(addr string) (*Client, error) {
+	return DialWith(addr, ioserve.DialConfig{})
+}
+
+// DialWith is Dial with transport configuration.
+func DialWith(addr string, cfg ioserve.DialConfig) (*Client, error) {
+	ic, err := ioserve.DialWith(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return upgrade(ic)
+}
+
+// NewClientConn builds a v3 client over an already-established connection
+// (e.g. an in-memory pipe when simulating client fleets without sockets).
+func NewClientConn(conn net.Conn, cfg ioserve.DialConfig) (*Client, error) {
+	ic, err := ioserve.NewClientConn(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return upgrade(ic)
+}
+
+// upgrade negotiates protocol v3 on a fresh ioserve client.
+func upgrade(ic *ioserve.Client) (*Client, error) {
+	v, err := ic.UpgradeTo(WireProto)
+	if err != nil {
+		ic.Close()
+		return nil, fmt.Errorf("serve: protocol upgrade: %w", err)
+	}
+	if v < WireProto {
+		ic.Close()
+		return nil, fmt.Errorf("serve: server speaks protocol %d, need %d", v, WireProto)
+	}
+	return &Client{Client: ic}, nil
+}
+
+// parseReply classifies a reply line: a payload after the expected prefix,
+// or an error (transient-marked when the server said so).
+func parseReply(line, wantPrefix string) (string, error) {
+	if msg, ok := strings.CutPrefix(line, "error: transient: "); ok {
+		return "", oracle.Transient(errors.New(msg))
+	}
+	if msg, ok := strings.CutPrefix(line, "error: "); ok {
+		return "", errors.New(msg)
+	}
+	if rest, ok := strings.CutPrefix(line, wantPrefix); ok {
+		return rest, nil
+	}
+	return "", fmt.Errorf("serve: unexpected reply %q (want %q)", line, wantPrefix)
+}
+
+// exchange sends one verb and classifies the reply.
+func (c *Client) exchange(cmd, wantPrefix string) (string, error) {
+	line, err := c.Exchange(cmd)
+	if err != nil {
+		return "", err
+	}
+	return parseReply(line, wantPrefix)
+}
+
+// NewSession opens (and binds) a session for the tenant, returning its ID.
+func (c *Client) NewSession(tenant string) (string, error) {
+	if strings.ContainsAny(tenant, " \t") {
+		return "", fmt.Errorf("serve: tenant name %q contains whitespace", tenant)
+	}
+	id, err := c.exchange("session new "+tenant, "ok session ")
+	if err != nil {
+		return "", err
+	}
+	c.sessionID = id
+	return id, nil
+}
+
+// Attach binds an existing session (e.g. after a redial) to this
+// connection.
+func (c *Client) Attach(id string) error {
+	got, err := c.exchange("session attach "+id, "ok session ")
+	if err != nil {
+		return err
+	}
+	c.sessionID = got
+	return nil
+}
+
+// SessionID returns the bound session's ID ("" before NewSession/Attach).
+func (c *Client) SessionID() string { return c.sessionID }
+
+// CloseSession closes the bound session on the server.
+func (c *Client) CloseSession() error {
+	_, err := c.exchange("session close", "ok session closed")
+	if err == nil {
+		c.sessionID = ""
+	}
+	return err
+}
+
+// Learn submits a learn job at the given seed and returns its job ID.
+// Admission rejections (queue full, tenant quota, draining) come back as
+// transient errors — oracle.IsTransient(err) is true — so callers can back
+// off and retry.
+func (c *Client) Learn(seed int64) (string, error) {
+	return c.exchange(fmt.Sprintf("learn %d", seed), "ok job ")
+}
+
+// JobStatus polls a job.
+func (c *Client) JobStatus(id string) (Status, error) {
+	rest, err := c.exchange("job "+id, "job ")
+	if err != nil {
+		return Status{}, err
+	}
+	f := strings.Fields(rest)
+	if len(f) != 7 {
+		return Status{}, fmt.Errorf("serve: malformed job status %q", rest)
+	}
+	var st Status
+	st.ID = f[0]
+	st.State = JobState(f[1])
+	st.Phase = core.Phase(f[2])
+	st.OutputsDone, err = strconv.Atoi(f[3])
+	if err == nil {
+		st.TotalOut, err = strconv.Atoi(f[4])
+	}
+	if err == nil {
+		st.Queries, err = strconv.ParseInt(f[5], 10, 64)
+	}
+	if err == nil {
+		st.Resumes, err = strconv.Atoi(f[6])
+	}
+	if err != nil {
+		return Status{}, fmt.Errorf("serve: malformed job status %q: %w", rest, err)
+	}
+	return st, nil
+}
+
+// CancelJob requests cancellation of a job.
+func (c *Client) CancelJob(id string) error {
+	_, err := c.exchange("cancel "+id, "ok cancel ")
+	return err
+}
+
+// ResumeJob re-enqueues a cancelled job. Queue-full rejections are
+// transient, same as Learn.
+func (c *Client) ResumeJob(id string) error {
+	_, err := c.exchange("resume "+id, "ok job ")
+	return err
+}
+
+// Result fetches a finished job's learned circuit.
+func (c *Client) Result(id string) (*circuit.Circuit, error) {
+	text, err := c.NetlistText(id)
+	if err != nil {
+		return nil, err
+	}
+	return circuit.ParseNetlist(strings.NewReader(text))
+}
+
+// NetlistText fetches a finished job's circuit as the exact netlist bytes
+// the server serialized — no client-side re-encoding, so comparing against
+// an in-process learn's WriteNetlist output is a true byte-identity check.
+func (c *Client) NetlistText(id string) (string, error) {
+	rest, err := c.exchange("result "+id, "result ")
+	if err != nil {
+		return "", err
+	}
+	f := strings.Fields(rest)
+	if len(f) != 3 || f[0] != id || f[1] != "lines" {
+		return "", fmt.Errorf("serve: malformed result header %q", rest)
+	}
+	n, err := strconv.Atoi(f[2])
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("serve: malformed result header %q", rest)
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		line, err := c.ReadLine()
+		if err != nil {
+			return "", fmt.Errorf("serve: result body truncated at line %d/%d: %w", i, n, err)
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Stats fetches the server's metrics snapshot.
+func (c *Client) Stats() (metrics.Snapshot, error) {
+	rest, err := c.exchange("stats", "stats ")
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(rest), &snap); err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("serve: stats payload: %w", err)
+	}
+	return snap, nil
+}

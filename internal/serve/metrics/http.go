@@ -1,0 +1,70 @@
+package metrics
+
+// The HTTP face of a registry: /metrics serves a JSON snapshot, /healthz a
+// liveness/readiness probe. Deliberately stdlib-only — no client libraries,
+// no content negotiation; anything that scrapes JSON (curl, a dashboard, a
+// load generator) can consume it.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics  — the full Snapshot as JSON
+//	GET /healthz  — 200 "ok" while healthy() is true, 503 "draining" after
+//
+// A nil healthy means always healthy.
+func Handler(r *Registry, healthy func() bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// httpTimeout bounds every read and write of the metrics endpoint: a
+// monitoring port must never let a stuck scraper pin a connection.
+const httpTimeout = 10 * time.Second
+
+// ListenAndServe exposes the registry on addr until stop is closed, then
+// shuts the HTTP server down and returns. It reports the bound address on
+// ready (useful with a ":0" addr) and closes done when fully stopped.
+// Errors before the listener is up are returned immediately.
+func ListenAndServe(addr string, r *Registry, healthy func() bool, stop <-chan struct{}) (boundAddr string, done <-chan struct{}, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{
+		Handler:      Handler(r, healthy),
+		ReadTimeout:  httpTimeout,
+		WriteTimeout: httpTimeout,
+	}
+	finished := make(chan struct{})
+	serveDone := make(chan struct{})
+	go func() {
+		hs.Serve(ln)
+		close(serveDone)
+	}()
+	go func() {
+		<-stop
+		hs.Close()
+		<-serveDone
+		close(finished)
+	}()
+	return ln.Addr().String(), finished, nil
+}

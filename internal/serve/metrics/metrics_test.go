@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{3 * time.Microsecond, 1},
+		{1024 * time.Microsecond, 10},
+		{time.Hour * 24, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.d); got != tc.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~100µs, 10 at ~10ms: p50 in the 64-127µs bucket,
+	// p99 in the 8192-16383µs bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count = %d, want 110", s.Count)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 64e-6 || p50 > 128e-6 {
+		t.Errorf("p50 = %v, want within [64µs, 128µs]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 8192e-6 || p99 > 16384e-6 {
+		t.Errorf("p99 = %v, want within [8.2ms, 16.4ms]", p99)
+	}
+	if mean := s.Mean(); mean <= 0 {
+		t.Errorf("mean = %v, want > 0", mean)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	var m Meter
+	m.Add(50)
+	// The in-progress second is excluded, so the rate over a wide window
+	// counts these events only after the second rolls over; just assert
+	// Rate doesn't panic and is non-negative here, and that slot recycling
+	// under concurrency keeps totals sane.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := m.Rate(10); r < 0 {
+		t.Fatalf("rate = %v, want >= 0", r)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(42)
+	if c := r.Counter("queries_total"); c.Load() != 42 {
+		t.Fatalf("idempotent Counter returned a fresh counter")
+	}
+	r.Histogram("query_latency").Observe(250 * time.Microsecond)
+	r.Meter("queries").Add(7)
+	r.Gauge("queue_depth", func() float64 { return 3 })
+
+	snap := r.Snapshot()
+	if snap.Counters["queries_total"] != 42 {
+		t.Errorf("counter in snapshot = %d, want 42", snap.Counters["queries_total"])
+	}
+	if snap.Gauges["queue_depth"] != 3 {
+		t.Errorf("gauge in snapshot = %v, want 3", snap.Gauges["queue_depth"])
+	}
+	if snap.Histograms["query_latency"].Count != 1 {
+		t.Errorf("histogram count = %d, want 1", snap.Histograms["query_latency"].Count)
+	}
+
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	if back.Counters["queries_total"] != 42 {
+		t.Errorf("round-tripped counter = %d, want 42", back.Counters["queries_total"])
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(5)
+	healthy := true
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	addr, done, err := ListenAndServe("127.0.0.1:0", r, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return healthy
+	}, stop)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf [4096]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp.StatusCode, string(buf[:n])
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics body is not a Snapshot: %v", err)
+	}
+	if snap.Counters["hits"] != 5 {
+		t.Errorf("/metrics counter = %d, want 5", snap.Counters["hits"])
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz healthy status = %d, want 200", code)
+	}
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz draining status = %d, want 503", code)
+	}
+}

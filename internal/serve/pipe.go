@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"net"
+	"sync"
+)
+
+// PipeListener is a net.Listener over in-memory pipes: Dial conjures a
+// synchronous connection pair and hands the server side to Accept. It lets
+// a load generator or a test stand up thousands of concurrent client
+// connections without consuming file descriptors or ports.
+type PipeListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewPipeListener returns an open in-memory listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+// Accept waits for the server side of the next Dial.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener; blocked and future Accept/Dial calls return
+// net.ErrClosed. Idempotent.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// Addr returns a placeholder address.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// Dial returns the client side of a fresh in-memory connection, once a
+// server Accept has the other end.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	}
+}
