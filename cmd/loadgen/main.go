@@ -14,6 +14,14 @@
 //
 //	loadgen -addr 127.0.0.1:9000 -clients 200 -duration 30s
 //
+// Or keep the self-hosted stack but run it over a real TCP socket, which
+// exercises the OS network path (Nagle, fd churn, loopback scheduling)
+// while keeping the leak gate and server-side metrics:
+//
+//	loadgen -listen tcp -case case_3 -clients 200 -duration 5s
+//
+// -listen accepts "tcp" (an ephemeral 127.0.0.1 port) or "tcp:HOST:PORT".
+//
 // Exit status: 0 on a clean run, 1 on client errors, 2 on a goroutine
 // leak (self-hosted mode only — leaks on a remote server are invisible
 // from here; scrape its /metrics goroutine gauge instead).
@@ -24,8 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +86,7 @@ func main() {
 	var (
 		caseName = flag.String("case", "case_3", "built-in case for the self-hosted service")
 		addr     = flag.String("addr", "", "drive an external v3 server instead of self-hosting")
+		listen   = flag.String("listen", "", "self-hosted transport: '' = in-memory pipe, 'tcp' = ephemeral 127.0.0.1 port, 'tcp:HOST:PORT' = fixed address")
 		clients  = flag.Int("clients", 1000, "concurrent client connections")
 		tenants  = flag.Int("tenants", 97, "distinct tenant names the fleet spreads over")
 		duration = flag.Duration("duration", 5*time.Second, "query-phase duration")
@@ -105,12 +116,16 @@ func main() {
 	var teardown func()
 	var svc *serve.Service
 	if *addr != "" {
+		if *listen != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -addr and -listen are mutually exclusive")
+			os.Exit(1)
+		}
 		rep.Transport, rep.Addr = "tcp", *addr
 		dial = func() (*serve.Client, error) {
 			return serve.DialWith(*addr, ioserve.DialConfig{IOTimeout: time.Minute})
 		}
 	} else {
-		rep.Transport, rep.Case = "pipe", *caseName
+		rep.Case = *caseName
 		c, err := cases.ByName(*caseName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -120,14 +135,45 @@ func main() {
 		svc = serve.New(base, serve.Config{})
 		srv := ioserve.NewServer(base)
 		srv.Ext = svc.Wire()
-		ln := serve.NewPipeListener()
+
+		// The self-hosted stack runs over an in-memory pipe by default;
+		// -listen tcp swaps in a real socket without changing anything else
+		// (same server, same leak gate, same metrics).
+		var ln net.Listener
+		var dialConn func() (net.Conn, error)
+		switch {
+		case *listen == "":
+			pl := serve.NewPipeListener()
+			ln, dialConn = pl, pl.Dial
+			rep.Transport = "pipe"
+		case *listen == "tcp" || strings.HasPrefix(*listen, "tcp:"):
+			hostport := strings.TrimPrefix(*listen, "tcp")
+			hostport = strings.TrimPrefix(hostport, ":")
+			if hostport == "" {
+				hostport = "127.0.0.1:0"
+			}
+			tl, err := net.Listen("tcp", hostport)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+			ln = tl
+			rep.Transport, rep.Addr = "tcp-self", tl.Addr().String()
+			dialConn = func() (net.Conn, error) {
+				return net.DialTimeout("tcp", tl.Addr().String(), 10*time.Second)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: unknown -listen transport %q (want 'tcp' or 'tcp:HOST:PORT')\n", *listen)
+			os.Exit(1)
+		}
+
 		serveDone := make(chan struct{})
 		go func() {
 			srv.Serve(ln)
 			close(serveDone)
 		}()
 		dial = func() (*serve.Client, error) {
-			conn, err := ln.Dial()
+			conn, err := dialConn()
 			if err != nil {
 				return nil, err
 			}

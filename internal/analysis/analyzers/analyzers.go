@@ -25,9 +25,23 @@
 //	            paths, and recover results are type-checked
 //	goleak      every go statement has a completion witness in scope
 //	            (WaitGroup.Done, done-channel send/close, context)
+//	atomicsafe  a field accessed via sync/atomic anywhere in a package is
+//	            accessed atomically everywhere, helpers included, and
+//	            64-bit atomic words stay aligned under 32-bit layout
+//	chanflow    no send on a possibly-closed channel, no double close, no
+//	            blocking send on an unbuffered channel without a select or
+//	            cancellation escape
+//	ctxcancel   a goroutine handed a context/cancel channel must observe
+//	            it on every iteration path of its unconditioned loops
+//	hotalloc    //logicreg:hotpath functions are allocation-free on all
+//	            non-panic paths (cross-checked against -gcflags=-m)
 //
 // The flow-sensitive rules run on internal/analysis/flow (CFGs, a forward
 // lattice solver, and bottom-up call-graph summaries); see DESIGN.md §10.
+// The concurrency/allocation contract rules (atomicsafe, chanflow,
+// ctxcancel, hotalloc) additionally use its interprocedural layer
+// (field-access classification, cold/cycle blocks, reachability); see
+// DESIGN.md §12 for the annotation grammar.
 package analyzers
 
 import (
@@ -36,10 +50,13 @@ import (
 
 // All returns every repo analyzer, in stable order. The first group are
 // cheap AST matchers; the second group (randtaint, locksafe, panicbridge,
-// goleak) are flow-sensitive rules built on internal/analysis/flow.
+// goleak) are flow-sensitive rules built on internal/analysis/flow; the
+// third group (atomicsafe, chanflow, ctxcancel, hotalloc) are the
+// interprocedural concurrency and hot-path allocation contracts.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ScalarEval, SeededRand, OrphanErr, ErrCompare, NoDeadline,
 		RandTaint, LockSafe, PanicBridge, GoLeak,
+		AtomicSafe, ChanFlow, CtxCancel, HotAlloc,
 	}
 }

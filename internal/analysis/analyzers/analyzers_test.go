@@ -171,6 +171,22 @@ func TestGoLeakFixture(t *testing.T) {
 	runFixture(t, GoLeak, "logicregression/fixture/goleak")
 }
 
+func TestAtomicSafeFixture(t *testing.T) {
+	runFixture(t, AtomicSafe, "logicregression/fixture/atomicsafe")
+}
+
+func TestChanFlowFixture(t *testing.T) {
+	runFixture(t, ChanFlow, "logicregression/fixture/chanflow")
+}
+
+func TestCtxCancelFixture(t *testing.T) {
+	runFixture(t, CtxCancel, "logicregression/fixture/ctxcancel")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "logicregression/fixture/hotalloc")
+}
+
 // TestRepoIsClean runs every analyzer over the whole module: the rules the
 // analyzers encode are supposed to hold in production code right now.
 func TestRepoIsClean(t *testing.T) {

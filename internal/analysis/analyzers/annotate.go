@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"logicregression/internal/analysis"
+)
+
+// Annotation grammar shared by the contract analyzers (see DESIGN.md §12):
+//
+//	//logicreg:hotpath
+//	    on a function's doc comment: the function is a hot-path kernel and
+//	    must satisfy the hotalloc contract (no heap allocation, interface
+//	    boxing, or defer-in-loop on any non-panic path).
+//
+//	//logicreg:allow <analyzer> <reason>
+//	    suppresses the named analyzer's findings on the same line and the
+//	    line directly below the comment. The reason is mandatory by
+//	    convention: a suppression is a reviewed exception, not an off switch.
+
+const hotpathDirective = "//logicreg:hotpath"
+const allowDirective = "//logicreg:allow"
+
+// isHotpath reports whether fd's doc comment carries //logicreg:hotpath.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressedLines collects the //logicreg:allow <name> suppressions in the
+// pass's files: the returned set holds "file:line" keys for the comment's
+// own line and the line directly below it (so both trailing comments and
+// whole-line comments above the code work).
+func suppressedLines(pass *analysis.Pass, name string) map[string]bool {
+	sup := make(map[string]bool)
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowDirective+" ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowDirective+" "))
+				if len(fields) == 0 || fields[0] != name {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				sup[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = true
+				sup[fmt.Sprintf("%s:%d", p.Filename, p.Line+1)] = true
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether pos falls on a line suppressed for the
+// analyzer whose suppression set sup is.
+func suppressed(pass *analysis.Pass, sup map[string]bool, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	return sup[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+}

@@ -1,0 +1,372 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/astutil"
+	"logicregression/internal/analysis/flow"
+)
+
+// CtxCancel checks that cancellation handed across a goroutine boundary is
+// actually honored: when a go statement gives the new goroutine a
+// cancellation carrier — a context.Context, a `chan struct{}` done/stop
+// channel, or an options struct with a Cancel channel field (core.Options)
+// — every unconditioned loop (`for { ... }`) the goroutine can spin in
+// must observe that carrier on all iteration paths. A loop with an
+// observation-free path around its back edge keeps running after cancel:
+// the goroutine leaks and shutdown hangs.
+//
+// Observation means receiving from the channel (directly or in a select
+// case — a select with a cancel case observes on every iteration whichever
+// arm fires), calling ctx.Done()/ctx.Err(), draining it with range, or
+// passing the carrier to a same-package function summarized as observing
+// it (resolved bottom-up over the call graph). Carriers forwarded to local
+// callees are followed: a goroutine that parks its spin loop in a helper
+// is checked in the helper. Loops with a condition and range loops are
+// exempt — they terminate by their own means. Deliberate exceptions are
+// annotated `//logicreg:allow ctxcancel <reason>`.
+var CtxCancel = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc: "flags goroutines that are handed a context/cancel channel but can " +
+		"iterate an unconditioned loop without ever observing it",
+	Run: runCtxCancel,
+}
+
+// cancelCarrier reports whether t can carry a cancellation signal: a
+// context.Context, a chan struct{} (any direction), or a struct with a
+// Cancel field of channel-of-struct{} type (core.Options).
+func cancelCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) || isCancelChan(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Cancel" && isCancelChan(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCancelChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxCancel(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	graph := flow.BuildCallGraph(pass.Files, info)
+	sup := suppressedLines(pass, "ctxcancel")
+
+	// Bottom-up observer summaries: which cancellation-carrier parameters
+	// does each function observe (directly or via same-package callees)?
+	observes := make(map[*types.Func][]bool)
+	paramObjs := make(map[*types.Func][]types.Object)
+	for _, n := range graph.Order {
+		sig := n.Fn.Type().(*types.Signature)
+		observes[n.Fn] = make([]bool, sig.Params().Len())
+		objs := make([]types.Object, sig.Params().Len())
+		for i := 0; i < sig.Params().Len(); i++ {
+			objs[i] = sig.Params().At(i)
+		}
+		paramObjs[n.Fn] = objs
+	}
+	graph.Fixpoint(func(n *flow.CallNode) bool {
+		sums := observes[n.Fn]
+		carriers := make(map[types.Object]bool)
+		idxOf := make(map[types.Object]int)
+		for i, p := range paramObjs[n.Fn] {
+			if cancelCarrier(p.Type()) {
+				carriers[p] = true
+				idxOf[p] = i
+			}
+		}
+		if len(carriers) == 0 {
+			return false
+		}
+		changed := false
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			for obj := range carriers {
+				if nodeObservesCancel(info, observes, x, map[types.Object]bool{obj: true}) {
+					if i := idxOf[obj]; !sums[i] {
+						sums[i] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		return changed
+	})
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, objs := goroutineCancelCarriers(info, graph, gs.Call)
+			if body == nil || len(objs) == 0 {
+				return true
+			}
+			visited := make(map[*types.Func]bool)
+			checkCancelLoops(pass, graph, observes, paramObjs, sup, body, objs, visited)
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineCancelCarriers resolves a go statement to the goroutine's body
+// and the cancellation carriers handed to it: carrier-typed parameters of
+// the called literal or same-package function, plus (for literals) free
+// carrier variables captured from the enclosing scope.
+func goroutineCancelCarriers(info *types.Info, graph *flow.CallGraph, call *ast.CallExpr) (*ast.BlockStmt, map[types.Object]bool) {
+	objs := make(map[types.Object]bool)
+	if lit, ok := astutil.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if lit.Type.Params != nil {
+			for _, f := range lit.Type.Params.List {
+				for _, name := range f.Names {
+					if obj := info.Defs[name]; obj != nil && cancelCarrier(obj.Type()) {
+						objs[obj] = true
+					}
+				}
+			}
+		}
+		// Free variables: identifiers used in the literal but declared
+		// outside it.
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok || !cancelCarrier(obj.Type()) {
+				return true
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				objs[obj] = true
+			}
+			return true
+		})
+		return lit.Body, objs
+	}
+	fn := astutil.CalleeFunc(info, call)
+	node := graph.Nodes[fn]
+	if node == nil {
+		return nil, nil
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if cancelCarrier(sig.Params().At(i).Type()) {
+			objs[sig.Params().At(i)] = true
+		}
+	}
+	return node.Decl.Body, objs
+}
+
+// checkCancelLoops flags unconditioned loops in body that can iterate
+// without observing any of objs, then follows the carriers into
+// same-package callees.
+func checkCancelLoops(pass *analysis.Pass, graph *flow.CallGraph,
+	observes map[*types.Func][]bool, paramObjs map[*types.Func][]types.Object,
+	sup map[string]bool, body *ast.BlockStmt, objs map[types.Object]bool,
+	visited map[*types.Func]bool) {
+
+	info := pass.TypesInfo
+	g := flow.New(body, info)
+
+	observing := make(map[*flow.Block]bool)
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			if nodeTreeObservesCancel(info, observes, node, objs) {
+				observing[b] = true
+				break
+			}
+		}
+	}
+	// A select polls all its cases at once: if any case receives the
+	// cancel signal, passing through the select head observes it,
+	// whichever arm actually fires.
+	for _, b := range g.Blocks {
+		if observing[b] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if strings.HasPrefix(s.Kind, "select.") && len(s.Nodes) > 0 &&
+				nodeTreeObservesCancel(info, observes, s.Nodes[0], objs) {
+				observing[b] = true
+				break
+			}
+		}
+	}
+	avoid := func(b *flow.Block) bool { return observing[b] }
+
+	names := make([]string, 0, len(objs))
+	for obj := range objs {
+		names = append(names, obj.Name())
+	}
+
+	for _, b := range g.Blocks {
+		if b.Kind != "for.head" {
+			continue
+		}
+		fs, ok := b.Stmt.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			continue
+		}
+		if suppressed(pass, sup, fs.Pos()) {
+			continue
+		}
+		cycles := false
+		for _, s := range b.Succs {
+			if !observing[s] && g.CanReach(s, b, avoid) {
+				cycles = true
+				break
+			}
+		}
+		if cycles {
+			pass.Reportf(fs.Pos(),
+				"goroutine is handed cancellation (%s) but this loop can iterate without "+
+					"observing it; check the cancel channel (or ctx.Err/Done) on every path "+
+					"so the goroutine stops when cancelled",
+				strings.Join(names, ", "))
+		}
+	}
+
+	// Follow forwarded carriers into same-package callees: the spin loop
+	// may live in a helper.
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astutil.CalleeFunc(info, call)
+		node := graph.Nodes[fn]
+		if node == nil || visited[fn] {
+			return true
+		}
+		forwarded := make(map[types.Object]bool)
+		params := paramObjs[fn]
+		for i, arg := range call.Args {
+			if i >= len(params) {
+				break
+			}
+			id, ok := astutil.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if objs[info.Uses[id]] && cancelCarrier(params[i].Type()) {
+				forwarded[params[i]] = true
+			}
+		}
+		if len(forwarded) > 0 {
+			visited[fn] = true
+			checkCancelLoops(pass, graph, observes, paramObjs, sup, node.Decl.Body, forwarded, visited)
+		}
+		return true
+	})
+}
+
+// nodeTreeObservesCancel reports whether the subtree rooted at n contains
+// an observation of any carrier in objs, without descending into nested
+// function literals (their bodies run on other goroutines or not at all)
+// or range bodies (which occupy their own blocks).
+func nodeTreeObservesCancel(info *types.Info, observes map[*types.Func][]bool, n ast.Node, objs map[types.Object]bool) bool {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		// Header only: range over the carrier itself drains it.
+		if id, ok := astutil.Unparen(r.X).(*ast.Ident); ok && objs[info.Uses[id]] {
+			return true
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		if found {
+			return false
+		}
+		if nodeObservesCancel(info, observes, x, objs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nodeObservesCancel reports whether the single node x directly observes a
+// carrier in objs: a receive from it (or from a selector/Done() on it), a
+// Done/Err method call on it, or a same-package call forwarding it to an
+// observed parameter.
+func nodeObservesCancel(info *types.Info, observes map[*types.Func][]bool, x ast.Node, objs map[types.Object]bool) bool {
+	isCarrierIdent := func(e ast.Expr) bool {
+		id, ok := astutil.Unparen(e).(*ast.Ident)
+		return ok && objs[info.Uses[id]]
+	}
+	// The carrier root of a receive operand: ch, opts.Cancel, ctx.Done().
+	carrierOperand := func(e ast.Expr) bool {
+		switch e := astutil.Unparen(e).(type) {
+		case *ast.Ident:
+			return objs[info.Uses[e]]
+		case *ast.SelectorExpr:
+			return isCarrierIdent(e.X)
+		case *ast.CallExpr:
+			if sel, ok := astutil.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				return isCarrierIdent(sel.X)
+			}
+		}
+		return false
+	}
+	switch x := x.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW && carrierOperand(x.X) {
+			return true
+		}
+	case *ast.CallExpr:
+		if sel, ok := astutil.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && isCarrierIdent(sel.X) {
+				return true
+			}
+		}
+		fn := astutil.CalleeFunc(info, x)
+		sums, ok := observes[fn]
+		if !ok {
+			return false
+		}
+		for i, arg := range x.Args {
+			if i < len(sums) && sums[i] && isCarrierIdent(arg) {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		return isCarrierIdent(x.X)
+	}
+	return false
+}

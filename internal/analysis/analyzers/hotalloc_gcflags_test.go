@@ -1,0 +1,226 @@
+package analyzers
+
+import (
+	"bufio"
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHotpathGcflagsCrossCheck corroborates the static hotalloc verdicts
+// with the compiler's own escape analysis: for every package containing a
+// //logicreg:hotpath function, it rebuilds the package with -gcflags=-m and
+// fails if the compiler reports a heap allocation ("escapes to heap" /
+// "moved to heap") inside a marked function's line range — except on lines
+// feeding an explicit panic (cold by the contract), lines calling a
+// same-package panic guard (inlining attributes the guard's cold Sprintf
+// boxing to the call site), or lines carrying a //logicreg:allow hotalloc
+// suppression.
+//
+// The two analyses are deliberately different: hotalloc is strict and
+// syntactic (it flags constructs that are likely to allocate), while -m is
+// the ground truth for what actually hits the heap. hotalloc passing while
+// -m reports an escape means the contract has a blind spot; this test makes
+// that loud.
+func TestHotpathGcflagsCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds hotpath packages with -gcflags=-m")
+	}
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	list := exec.Command("go", "list", "-f", "{{.ImportPath}}\t{{.Dir}}", "logicregression/...")
+	list.Dir = root
+	out, err := list.Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+
+	type span struct {
+		fn         string
+		file       string // base name
+		start, end int
+		exempt     map[int]bool // panic-feeding and allow-suppressed lines
+	}
+	checked := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		importPath, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		spans := hotpathSpans(t, dir)
+		if len(spans) == 0 {
+			continue
+		}
+		for _, ss := range spans {
+			checked += len(ss)
+		}
+
+		// -gcflags scoped to just this package: deps come from the cache,
+		// only the package under test is recompiled with escape diagnostics.
+		build := exec.Command("go", "build", "-gcflags="+importPath+"=-m", importPath)
+		build.Dir = root
+		var diag bytes.Buffer
+		build.Stdout = &diag
+		build.Stderr = &diag
+		if err := build.Run(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", importPath, err, diag.String())
+		}
+
+		msgRE := regexp.MustCompile(`^(.*\.go):(\d+):\d+: (.*)$`)
+		sc := bufio.NewScanner(&diag)
+		for sc.Scan() {
+			m := msgRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			msg := m[3]
+			if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+				continue
+			}
+			file := filepath.Base(m[1])
+			ln, _ := strconv.Atoi(m[2])
+			for _, s := range spans[file] {
+				if ln >= s.start && ln <= s.end && !s.exempt[ln] {
+					t.Errorf("%s: compiler reports %q at %s:%d inside //logicreg:hotpath %s, but hotalloc passed it",
+						importPath, msg, file, ln, s.fn)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("found no //logicreg:hotpath functions to cross-check")
+	}
+	t.Logf("cross-checked %d hotpath functions against -gcflags=-m", checked)
+}
+
+// hotpathSpans parses a package directory (non-test files only) and returns
+// the line spans of its //logicreg:hotpath functions, keyed by base file
+// name, with panic-argument and allow-suppressed lines exempted.
+func hotpathSpans(t *testing.T, dir string) map[string][]struct {
+	fn         string
+	file       string
+	start, end int
+	exempt     map[int]bool
+} {
+	t.Helper()
+	type span = struct {
+		fn         string
+		file       string
+		start, end int
+		exempt     map[int]bool
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := make(map[string][]span)
+	fset := token.NewFileSet()
+
+	// First sweep: same-package functions containing an explicit panic are
+	// "panic guards" (eq/check-style precondition helpers). Their warm paths
+	// are verified allocation-free by hotalloc's own bottom-up summaries,
+	// but when the compiler inlines them it attributes their cold Sprintf
+	// boxing to the caller's line — so guard call lines are exempt below.
+	var parsed []*ast.File
+	var bases []string
+	guards := make(map[string]bool)
+	for _, p := range paths {
+		if strings.HasSuffix(p, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		parsed = append(parsed, f)
+		bases = append(bases, filepath.Base(p))
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+						guards[fd.Name.Name] = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for fi, f := range parsed {
+		base := bases[fi]
+
+		// Lines suppressed for hotalloc: the comment's line and the next.
+		allowed := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowDirective+" ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowDirective+" "))
+				if len(fields) > 0 && fields[0] == "hotalloc" {
+					ln := fset.Position(c.Pos()).Line
+					allowed[ln] = true
+					allowed[ln+1] = true
+				}
+			}
+		}
+
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			s := span{
+				fn:     fd.Name.Name,
+				file:   base,
+				start:  fset.Position(fd.Body.Pos()).Line,
+				end:    fset.Position(fd.Body.End()).Line,
+				exempt: make(map[int]bool),
+			}
+			for ln := range allowed {
+				if ln >= s.start && ln <= s.end {
+					s.exempt[ln] = true
+				}
+			}
+			// Arguments of an explicit panic are cold under the contract,
+			// and calls to panic guards carry the guard's cold boxing.
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				exempt := false
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					exempt = fun.Name == "panic" || guards[fun.Name]
+				case *ast.SelectorExpr:
+					exempt = guards[fun.Sel.Name]
+				}
+				if exempt {
+					for ln := fset.Position(call.Pos()).Line; ln <= fset.Position(call.End()).Line; ln++ {
+						s.exempt[ln] = true
+					}
+				}
+				return true
+			})
+			spans[base] = append(spans[base], s)
+		}
+	}
+	return spans
+}

@@ -1,0 +1,57 @@
+// The atomicsafe fixture: fields that mix sync/atomic with plain access.
+package atomicsafe
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+// hits is atomic here...
+func (c *counter) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ...so every plain touch elsewhere races with incr.
+func (c *counter) reset() {
+	c.hits = 0 // want "non-atomic write of field hits"
+}
+
+func (c *counter) snapshot() int64 {
+	return c.hits // want "non-atomic read of field hits"
+}
+
+// bump makes its pointee atomic by summary: total is an atomic field even
+// though no sync/atomic call names it directly.
+func bump(p *int64) {
+	atomic.AddInt64(p, 1)
+}
+
+func (c *counter) addTotal() {
+	bump(&c.total)
+}
+
+func (c *counter) drainTotal() int64 {
+	t := c.total // want "non-atomic read of field total"
+	c.total = 0  // want "non-atomic write of field total"
+	return t
+}
+
+// Taking the address outside any summarized call loses the field from view.
+var sink *int64
+
+func (c *counter) leak() {
+	sink = &c.hits // want "address of atomic field hits escapes"
+}
+
+// Under GOARCH=386 layout count sits at offset 4: the old address-taking
+// atomic API faults on misaligned 64-bit words on 32-bit platforms.
+type gauge struct {
+	ready int32
+	count int64 // want "sits at offset 4 under 32-bit layout"
+}
+
+func (g *gauge) inc() {
+	atomic.AddInt64(&g.count, 1)
+}

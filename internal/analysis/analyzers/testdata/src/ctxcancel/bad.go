@@ -1,0 +1,56 @@
+// The ctxcancel fixture: goroutines that spin past cancellation.
+package ctxcancel
+
+import "context"
+
+func handle(int) {}
+
+// The context is handed in as a parameter but the loop never looks at it.
+func paramIgnored(ctx context.Context, jobs chan int) {
+	go func(c context.Context) {
+		for { // want "can iterate without observing"
+			handle(<-jobs)
+		}
+	}(ctx)
+}
+
+// The captured stop channel is only checked on the rare branch: the common
+// path loops back without ever observing it.
+func partialObservation(stop chan struct{}, in chan int) {
+	go func() {
+		for { // want "can iterate without observing"
+			v := <-in
+			if v < 0 {
+				select {
+				case <-stop:
+					return
+				}
+			}
+			handle(v)
+		}
+	}()
+}
+
+// The loop lives in the named function the goroutine runs.
+func namedSpin(ctx context.Context, in chan int) {
+	go pump(ctx, in)
+}
+
+func pump(ctx context.Context, in chan int) {
+	for { // want "can iterate without observing"
+		handle(<-in)
+	}
+}
+
+// The goroutine parks its spin loop in a helper the carrier is forwarded to.
+func helperSpin(ctx context.Context, in chan int) {
+	go func() {
+		loopHelper(ctx, in)
+	}()
+}
+
+func loopHelper(ctx context.Context, in chan int) {
+	for { // want "can iterate without observing"
+		handle(<-in)
+	}
+}

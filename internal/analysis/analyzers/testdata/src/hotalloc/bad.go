@@ -1,0 +1,102 @@
+// The hotalloc fixture: allocation in functions under the hotpath contract.
+package hotalloc
+
+import "strings"
+
+//logicreg:hotpath
+func sumBuf(n int) int {
+	buf := make([]int, n) // want "calls make, which allocates"
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+//logicreg:hotpath
+func appendOne(xs []int, v int) []int {
+	return append(xs, v) // want "calls append, which may grow and allocate"
+}
+
+//logicreg:hotpath
+func closureCapture(n int) func() int {
+	return func() int { return n } // want "allocates a closure"
+}
+
+//logicreg:hotpath
+func concat(a, b string) string {
+	return a + b // want "concatenates strings, which allocates"
+}
+
+//logicreg:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want "converts between string and byte/rune slices"
+}
+
+//logicreg:hotpath
+func toIface(n int) interface{} {
+	return interface{}(n) // want "boxes a value into an interface"
+}
+
+func consume(v interface{}) {}
+
+//logicreg:hotpath
+func boxesArg(n int) {
+	consume(n) // want "boxes a concrete value into an interface argument"
+}
+
+func variadic(xs ...int) int { return len(xs) }
+
+//logicreg:hotpath
+func packsVariadic() int {
+	return variadic(1, 2) // want "makes a variadic call, which allocates the argument slice"
+}
+
+//logicreg:hotpath
+func lower(s string) string {
+	return strings.ToLower(s) // want "outside the hot-path allowlist"
+}
+
+//logicreg:hotpath
+func indirect(f func() int) int {
+	return f() // want "makes an indirect call"
+}
+
+func cleanup() {}
+
+//logicreg:hotpath
+func deferLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer cleanup() // want "defers inside a loop"
+	}
+}
+
+//logicreg:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "allocates a composite literal"
+}
+
+type point struct{ x, y int }
+
+//logicreg:hotpath
+func escapes() *point {
+	return &point{1, 2} // want "&composite literal escapes to the heap"
+}
+
+func (p *point) norm() {}
+
+//logicreg:hotpath
+func methodVal(p *point) func() {
+	return p.norm // want "allocates a bound method value"
+}
+
+// grow is unmarked, so it may allocate freely — but the summary charges
+// its hotpath callers.
+func grow() []int {
+	return make([]int, 8)
+}
+
+//logicreg:hotpath
+func usesGrow() int {
+	return len(grow()) // want "calls grow, which may allocate"
+}

@@ -1,0 +1,65 @@
+// The allocation-free forms. This file must stay silent.
+package hotalloc
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Pure arithmetic over preallocated storage with allowlisted intrinsics.
+//
+//logicreg:hotpath
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Allocation-free same-package helpers are folded in by summary.
+func lane(w uint64, i int) uint64 { return w >> uint(i) }
+
+//logicreg:hotpath
+func laneSum(w uint64) uint64 {
+	return lane(w, 1) + lane(w, 2)
+}
+
+// Panic guards are cold: the Sprintf feeds a path that never returns.
+//
+//logicreg:hotpath
+func guarded(xs []uint64, i int) uint64 {
+	if i < 0 || i >= len(xs) {
+		panic(fmt.Sprintf("lane %d out of range", i))
+	}
+	return xs[i]
+}
+
+// Reviewed amortized growth of reused scratch is suppressed explicitly.
+//
+//logicreg:hotpath
+func amortized(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		//logicreg:allow hotalloc amortized scratch growth, off the steady state
+		buf = make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// The allowlisted packages (sync, sync/atomic, math/bits, time, bitvec)
+// are vouched allocation-free.
+//
+//logicreg:hotpath
+func count(c *atomic.Int64) {
+	c.Add(1)
+}
+
+// Writing into caller-provided storage needs no allocation.
+//
+//logicreg:hotpath
+func fill(dst []uint64, v uint64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

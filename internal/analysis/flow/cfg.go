@@ -48,6 +48,10 @@ type Block struct {
 	// Cond is set on two-successor condition blocks: Succs[0] is taken
 	// when Cond evaluates true, Succs[1] when false.
 	Cond ast.Expr
+	// Stmt is set on loop head blocks ("for.head", "range.head") to the
+	// originating statement, so analyses can map a head block back to its
+	// loop syntax (the head of a `for {}` loop otherwise carries no nodes).
+	Stmt ast.Stmt
 }
 
 // builder holds the state of one CFG construction.
@@ -209,6 +213,7 @@ func (b *builder) stmt(s ast.Stmt) {
 			b.stmt(s.Init)
 		}
 		head := b.newBlock("for.head")
+		head.Stmt = s
 		body := b.newBlock("for.body")
 		done := b.newBlock("for.done")
 		continueT := head
@@ -246,6 +251,7 @@ func (b *builder) stmt(s ast.Stmt) {
 
 	case *ast.RangeStmt:
 		head := b.newBlock("range.head")
+		head.Stmt = s
 		body := b.newBlock("range.body")
 		done := b.newBlock("range.done")
 		b.takeLabel(done, head)

@@ -261,3 +261,139 @@ func f(xs []int) (sum int) {
 		}
 	}
 }
+
+// TestCFGSelectSendComm pins the send-comm layout: a send that is a select
+// case heads its own case block (so analyses exempting select comms can
+// recognize it), and the fall-off path loops back through select.done.
+func TestCFGSelectSendComm(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(out chan int, stop chan struct{}) {
+	for {
+		select {
+		case out <- 1:
+		case <-stop:
+			return
+		}
+	}
+}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	-> b3
+b1 exit
+b2 panic
+b3 for.head
+	-> b4
+b4 for.body
+	-> b7 b8
+b5 for.done
+	-> b1
+b6 select.done
+	-> b3
+b7 select.case
+	out <- 1
+	-> b6
+b8 select.case
+	<-stop
+	return
+	-> b1
+`)
+}
+
+// TestCFGLabeledBreakFromSelect pins that `break label` inside a select
+// case targets the labeled loop's done block, not the select's.
+func TestCFGLabeledBreakFromSelect(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(a chan int, stop chan struct{}) int {
+	n := 0
+loop:
+	for {
+		select {
+		case v := <-a:
+			n += v
+		case <-stop:
+			break loop
+		}
+	}
+	return n
+}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	n := 0
+	-> b3
+b1 exit
+b2 panic
+b3 label.loop
+	-> b4
+b4 for.head
+	-> b5
+b5 for.body
+	-> b8 b9
+b6 for.done
+	return n
+	-> b1
+b7 select.done
+	-> b4
+b8 select.case
+	v := <-a
+	n += v
+	-> b7
+b9 select.case
+	<-stop
+	-> b6
+`)
+}
+
+// TestCFGLabeledContinue pins that `continue label` from an inner loop
+// edges back to the outer loop's head.
+func TestCFGLabeledContinue(t *testing.T) {
+	fset, fd, info := parseFunc(t, `package x
+func f(xs [][]int) int {
+	total := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+`, "f")
+	g := New(fd.Body, info)
+	golden(t, g.Dump(fset), `
+b0 entry
+	total := 0
+	-> b3
+b1 exit
+b2 panic
+b3 label.outer
+	-> b4
+b4 range.head
+	for _, row := range xs
+	-> b5 b6
+b5 range.body
+	-> b7
+b6 range.done
+	return total
+	-> b1
+b7 range.head
+	for _, v := range row
+	-> b8 b9
+b8 range.body
+	v == 0
+	-> b10 b11
+b9 range.done
+	-> b4
+b10 if.then
+	-> b4
+b11 if.done
+	total += v
+	-> b7
+`)
+}

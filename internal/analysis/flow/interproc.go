@@ -1,0 +1,439 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"logicregression/internal/analysis/astutil"
+)
+
+// This file is the interprocedural layer of the flow engine: CFG
+// reachability utilities (cold panic-only paths, cycle membership,
+// avoidance-constrained reachability) and a field-sensitive access
+// classification that runs bottom-up summaries over the package call graph.
+// The concurrency/allocation contract analyzers (atomicsafe, chanflow,
+// ctxcancel, hotalloc) are built on these.
+
+// ---------------------------------------------------------------------------
+// CFG reachability utilities
+
+// preds returns the predecessor lists of every block.
+func (g *CFG) preds() map[*Block][]*Block {
+	p := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			p[s] = append(p[s], b)
+		}
+	}
+	return p
+}
+
+// ColdBlocks returns the blocks from which the normal Exit block is
+// unreachable: the panic block itself and every block that can only end in
+// a panic (or spin forever). Allocation contracts treat such blocks as cold
+// — a fmt.Sprintf feeding a bounds-check panic is not a hot-path cost.
+func (g *CFG) ColdBlocks() map[*Block]bool {
+	preds := g.preds()
+	warm := map[*Block]bool{g.Exit: true}
+	work := []*Block{g.Exit}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range preds[b] {
+			if !warm[p] {
+				warm[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	cold := make(map[*Block]bool)
+	for _, b := range g.Blocks {
+		if !warm[b] {
+			cold[b] = true
+		}
+	}
+	return cold
+}
+
+// CycleBlocks returns the blocks that lie on some cycle — equivalently,
+// the blocks whose statements may execute more than once per call. Used to
+// detect defer-in-loop and other per-iteration costs.
+func (g *CFG) CycleBlocks() map[*Block]bool {
+	on := make(map[*Block]bool)
+	for _, b := range g.Blocks {
+		if g.reaches(b.Succs, b, nil) {
+			on[b] = true
+		}
+	}
+	return on
+}
+
+// CanReach reports whether `to` is reachable from `from` along successor
+// edges without entering any block for which avoid returns true. `from`
+// itself is expanded unconditionally; `to` is tested before its avoid
+// status is consulted. A nil avoid means plain reachability.
+func (g *CFG) CanReach(from, to *Block, avoid func(*Block) bool) bool {
+	if from == to {
+		return true
+	}
+	return g.reaches(from.Succs, to, avoid)
+}
+
+func (g *CFG) reaches(starts []*Block, to *Block, avoid func(*Block) bool) bool {
+	seen := make(map[*Block]bool)
+	var work []*Block
+	for _, s := range starts {
+		if s == to {
+			return true
+		}
+		if (avoid == nil || !avoid(s)) && !seen[s] {
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if seen[s] || (avoid != nil && avoid(s)) {
+				continue
+			}
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Field-sensitive access classification
+
+// AccessKind classifies one touch of a struct field.
+type AccessKind int
+
+const (
+	// PlainRead is an ordinary (non-atomic) read of the field.
+	PlainRead AccessKind = iota
+	// PlainWrite is an ordinary assignment, ++/--, or compound assignment.
+	PlainWrite
+	// AtomicAccess is a sync/atomic operation on the field's address,
+	// directly or through a same-package helper whose pointer parameter is
+	// used atomically.
+	AtomicAccess
+	// EscapedAddr means the field's address left the window the
+	// classification can see through: stored in a variable, or passed to
+	// an imported or indirect callee.
+	EscapedAddr
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case PlainRead:
+		return "read"
+	case PlainWrite:
+		return "write"
+	case AtomicAccess:
+		return "atomic"
+	case EscapedAddr:
+		return "escape"
+	}
+	return "?"
+}
+
+// A FieldAccess is one classified touch of a field.
+type FieldAccess struct {
+	Pos  token.Pos
+	Kind AccessKind
+	// Via names the same-package helper the access was classified through,
+	// "" for direct accesses.
+	Via string
+}
+
+// A ParamAccess summarizes what a function does with one pointer-to-word
+// parameter, directly or through its same-package callees.
+type ParamAccess struct {
+	Atomic bool // the pointee is accessed via sync/atomic
+	Plain  bool // the pointee is dereferenced non-atomically, or escapes
+}
+
+// An AccessIndex is the result of ClassifyFieldAccesses.
+type AccessIndex struct {
+	// Fields maps each candidate field (a struct field of a sized-integer
+	// type) to its accesses, in source order per file.
+	Fields map[*types.Var][]FieldAccess
+	// FieldOrder lists the keys of Fields in first-access order, for
+	// deterministic iteration.
+	FieldOrder []*types.Var
+	// Params holds the bottom-up pointer-parameter summaries, indexed by
+	// parameter position.
+	Params map[*types.Func][]ParamAccess
+	// Converged is false only if the summary fixpoint hit its sweep cap.
+	Converged bool
+}
+
+// atomicWordType reports whether t is a type whose values sync/atomic's
+// old-style address-taking API operates on.
+func atomicWordType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// Is64BitWord reports whether t needs 8-byte alignment for atomic access.
+func Is64BitWord(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+// atomicAddrCall reports whether call is a package-level sync/atomic
+// function (AddInt64, LoadUint32, CompareAndSwapInt64, ...), all of which
+// take the operand address as their first argument. Methods on the
+// atomic.Int64-style types do not count: those types enforce atomicity and
+// alignment themselves.
+func atomicAddrCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := astutil.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && len(call.Args) > 0
+}
+
+// ClassifyFieldAccesses classifies every access to sized-integer struct
+// fields in one package: atomic (via sync/atomic, directly or through
+// same-package helpers, resolved bottom-up over the call graph), plain
+// read/write, or escaped address. Analyzers use it to enforce that a field
+// accessed atomically anywhere is accessed atomically everywhere.
+func ClassifyFieldAccesses(files []*ast.File, info *types.Info, g *CallGraph) *AccessIndex {
+	idx := &AccessIndex{
+		Fields: make(map[*types.Var][]FieldAccess),
+		Params: make(map[*types.Func][]ParamAccess),
+	}
+
+	// Tracked pointer parameters: *int64 and friends, by declaring function.
+	paramPos := make(map[types.Object]int) // param var -> its position
+	paramFn := make(map[types.Object]*types.Func)
+	for _, n := range g.Order {
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		sums := make([]ParamAccess, sig.Params().Len())
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			if pt, ok := p.Type().Underlying().(*types.Pointer); ok && atomicWordType(pt.Elem()) {
+				paramPos[p] = i
+				paramFn[p] = n.Fn
+			}
+		}
+		idx.Params[n.Fn] = sums
+	}
+
+	trackedParam := func(fn *types.Func, e ast.Expr) (int, bool) {
+		id, ok := astutil.Unparen(e).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		obj := info.Uses[id]
+		if obj == nil || paramFn[obj] != fn {
+			return 0, false
+		}
+		return paramPos[obj], true
+	}
+
+	// Bottom-up parameter summaries: does a function use its *word
+	// parameter atomically, plainly, or both?
+	idx.Converged = g.Fixpoint(func(n *CallNode) bool {
+		sums := idx.Params[n.Fn]
+		changed := false
+		set := func(i int, atomic, plain bool) {
+			if atomic && !sums[i].Atomic {
+				sums[i].Atomic = true
+				changed = true
+			}
+			if plain && !sums[i].Plain {
+				sums[i].Plain = true
+				changed = true
+			}
+		}
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				if atomicAddrCall(info, x) {
+					if i, ok := trackedParam(n.Fn, x.Args[0]); ok {
+						set(i, true, false)
+					}
+					return true
+				}
+				callee := astutil.CalleeFunc(info, x)
+				calleeSums, local := idx.Params[callee]
+				for ai, arg := range x.Args {
+					i, ok := trackedParam(n.Fn, arg)
+					if !ok {
+						continue
+					}
+					if local && ai < len(calleeSums) {
+						set(i, calleeSums[ai].Atomic, calleeSums[ai].Plain)
+					} else {
+						// The pointer escapes into code the package summary
+						// cannot see: assume a plain dereference.
+						set(i, false, true)
+					}
+				}
+			case *ast.StarExpr:
+				if i, ok := trackedParam(n.Fn, x.X); ok {
+					set(i, false, true)
+				}
+			}
+			return true
+		})
+		return changed
+	})
+
+	record := func(f *types.Var, a FieldAccess) {
+		if _, seen := idx.Fields[f]; !seen {
+			idx.FieldOrder = append(idx.FieldOrder, f)
+		}
+		idx.Fields[f] = append(idx.Fields[f], a)
+	}
+
+	// candidateField resolves a selector to a sized-integer struct field.
+	candidateField := func(sel *ast.SelectorExpr) *types.Var {
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil
+		}
+		f, ok := s.Obj().(*types.Var)
+		if !ok || !atomicWordType(f.Type()) {
+			return nil
+		}
+		return f
+	}
+
+	// addrOfField matches &x.f (possibly parenthesized).
+	addrOfField := func(e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+		u, ok := astutil.Unparen(e).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return nil, nil
+		}
+		sel, ok := astutil.Unparen(u.X).(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		f := candidateField(sel)
+		if f == nil {
+			return nil, nil
+		}
+		return sel, f
+	}
+
+	// Pass 1: classify field addresses flowing into calls, claiming the
+	// selectors so pass 2 does not double-count them as plain reads.
+	claimed := make(map[*ast.SelectorExpr]bool)
+	for _, file := range files {
+		ast.Inspect(file, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if atomicAddrCall(info, call) {
+				if sel, f := addrOfField(call.Args[0]); f != nil {
+					claimed[sel] = true
+					record(f, FieldAccess{Pos: call.Pos(), Kind: AtomicAccess})
+				}
+				return true
+			}
+			callee := astutil.CalleeFunc(info, call)
+			calleeSums, local := idx.Params[callee]
+			for ai, arg := range call.Args {
+				sel, f := addrOfField(arg)
+				if f == nil {
+					continue
+				}
+				claimed[sel] = true
+				if !local || ai >= len(calleeSums) {
+					record(f, FieldAccess{Pos: arg.Pos(), Kind: EscapedAddr})
+					continue
+				}
+				sum := calleeSums[ai]
+				if sum.Atomic {
+					record(f, FieldAccess{Pos: arg.Pos(), Kind: AtomicAccess, Via: callee.Name()})
+				}
+				if sum.Plain {
+					record(f, FieldAccess{Pos: arg.Pos(), Kind: PlainRead, Via: callee.Name()})
+				}
+				// A helper that ignores the pointer contributes no access.
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every remaining selector use of a candidate field is a plain
+	// access (or an escaping address-of outside any call).
+	for _, file := range files {
+		var stack []ast.Node
+		ast.Inspect(file, func(x ast.Node) bool {
+			if x == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := x.(*ast.SelectorExpr); ok && !claimed[sel] {
+				if f := candidateField(sel); f != nil {
+					record(f, FieldAccess{Pos: sel.Pos(), Kind: classifyPlain(stack, sel)})
+				}
+			}
+			stack = append(stack, x)
+			return true
+		})
+	}
+	return idx
+}
+
+// classifyPlain decides how an unclaimed field selector touches the field,
+// from its enclosing syntax: assignment target or ++/-- make it a write,
+// a bare address-of means the address escapes, anything else is a read.
+func classifyPlain(stack []ast.Node, sel *ast.SelectorExpr) AccessKind {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return EscapedAddr
+			}
+			return PlainRead
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if astutil.Unparen(lhs) == sel {
+					return PlainWrite
+				}
+			}
+			return PlainRead
+		case *ast.IncDecStmt:
+			if astutil.Unparen(p.X) == sel {
+				return PlainWrite
+			}
+			return PlainRead
+		default:
+			return PlainRead
+		}
+	}
+	return PlainRead
+}

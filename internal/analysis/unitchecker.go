@@ -65,7 +65,7 @@ func Main(analyzers ...*Analyzer) {
 
 // version participates in the go command's content hash for cached vet
 // results; bump it when analyzer behaviour changes.
-const version = "repolint-2.0"
+const version = "repolint-3.0"
 
 func runUnit(cfgPath string, analyzers []*Analyzer) int {
 	data, err := os.ReadFile(cfgPath)

@@ -51,12 +51,16 @@ func FromUint(x uint64, n int) *Vector {
 func (v *Vector) Len() int { return v.n }
 
 // Get returns bit i.
+//
+//logicreg:hotpath
 func (v *Vector) Get(i int) bool {
 	v.check(i)
 	return v.words[i>>6]>>(uint(i)&63)&1 == 1
 }
 
 // Set sets bit i to b.
+//
+//logicreg:hotpath
 func (v *Vector) Set(i int, b bool) {
 	v.check(i)
 	if b {
@@ -67,6 +71,8 @@ func (v *Vector) Set(i int, b bool) {
 }
 
 // Flip toggles bit i.
+//
+//logicreg:hotpath
 func (v *Vector) Flip(i int) {
 	v.check(i)
 	v.words[i>>6] ^= 1 << (uint(i) & 63)
@@ -86,6 +92,8 @@ func (v *Vector) Clone() *Vector {
 }
 
 // CopyFrom overwrites v with the contents of src (equal lengths required).
+//
+//logicreg:hotpath
 func (v *Vector) CopyFrom(src *Vector) {
 	v.eq(src)
 	copy(v.words, src.words)
@@ -98,6 +106,8 @@ func (v *Vector) eq(w *Vector) {
 }
 
 // Equal reports whether v and w hold identical bits (and lengths).
+//
+//logicreg:hotpath
 func (v *Vector) Equal(w *Vector) bool {
 	if v.n != w.n {
 		return false
@@ -111,6 +121,8 @@ func (v *Vector) Equal(w *Vector) bool {
 }
 
 // OnesCount returns the number of set bits.
+//
+//logicreg:hotpath
 func (v *Vector) OnesCount() int {
 	c := 0
 	for _, w := range v.words {
@@ -120,6 +132,8 @@ func (v *Vector) OnesCount() int {
 }
 
 // Zero reports whether every bit is 0.
+//
+//logicreg:hotpath
 func (v *Vector) Zero() bool {
 	for _, w := range v.words {
 		if w != 0 {
@@ -130,6 +144,8 @@ func (v *Vector) Zero() bool {
 }
 
 // SetAll sets every bit to b.
+//
+//logicreg:hotpath
 func (v *Vector) SetAll(b bool) {
 	var fill uint64
 	if b {
@@ -150,6 +166,8 @@ func (v *Vector) maskTail() {
 }
 
 // And stores x AND y into v. Aliasing with x or y is allowed.
+//
+//logicreg:hotpath
 func (v *Vector) And(x, y *Vector) {
 	v.eq(x)
 	v.eq(y)
@@ -159,6 +177,8 @@ func (v *Vector) And(x, y *Vector) {
 }
 
 // Or stores x OR y into v.
+//
+//logicreg:hotpath
 func (v *Vector) Or(x, y *Vector) {
 	v.eq(x)
 	v.eq(y)
@@ -168,6 +188,8 @@ func (v *Vector) Or(x, y *Vector) {
 }
 
 // Xor stores x XOR y into v.
+//
+//logicreg:hotpath
 func (v *Vector) Xor(x, y *Vector) {
 	v.eq(x)
 	v.eq(y)
@@ -177,6 +199,8 @@ func (v *Vector) Xor(x, y *Vector) {
 }
 
 // Not stores NOT x into v.
+//
+//logicreg:hotpath
 func (v *Vector) Not(x *Vector) {
 	v.eq(x)
 	for i := range v.words {

@@ -333,6 +333,8 @@ func (c *Circuit) NewEvaluator() *Evaluator { return &Evaluator{c: c} }
 
 // EvalWordsInto evaluates 64 patterns in parallel, writing one word per PO
 // into out (which must have length NumPO()).
+//
+//logicreg:hotpath
 func (e *Evaluator) EvalWordsInto(inputs, out []uint64) {
 	c := e.c
 	if len(inputs) != len(c.pis) {
@@ -342,6 +344,7 @@ func (e *Evaluator) EvalWordsInto(inputs, out []uint64) {
 		panic(fmt.Sprintf("circuit: EvalWordsInto got %d output words, want %d", len(out), len(c.pos)))
 	}
 	if len(e.vals) < len(c.nodes) {
+		//logicreg:allow hotalloc amortized scratch growth, only when the circuit grew
 		e.vals = make([]uint64, len(c.nodes))
 	}
 	c.evalWords(inputs, e.vals[:len(c.nodes)])
@@ -367,6 +370,10 @@ func (c *Circuit) EvalSignalWords(inputs []uint64, sigs ...Signal) []uint64 {
 	return out
 }
 
+// evalWords is the 64-way simulation kernel shared by every Eval entry
+// point: one word op per gate, no allocation.
+//
+//logicreg:hotpath
 func (c *Circuit) evalWords(inputs []uint64, vals []uint64) {
 	pi := 0
 	for id, n := range c.nodes {

@@ -50,7 +50,10 @@ func learnOutputsParallel(counter *oracle.Counter, jobs []outputJob, inG names.G
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	in := make(chan outputJob)
+	// Both channels are buffered to the fan-out: the feed loop below never
+	// blocks, so even if every worker died early the producer (and the
+	// learn) would still complete.
+	in := make(chan outputJob, len(jobs))
 	out := make(chan outputResult, len(jobs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

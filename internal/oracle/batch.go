@@ -24,6 +24,8 @@ import (
 )
 
 // Words returns the number of 64-bit lane words needed to hold n patterns.
+//
+//logicreg:hotpath
 func Words(n int) int { return (n + 63) / 64 }
 
 // BatchOracle is implemented by oracles that can answer many queries in one
@@ -129,17 +131,23 @@ type scalarOnly struct {
 }
 
 // laneBit returns the value of input/output lane i in pattern k.
+//
+//logicreg:hotpath
 func laneBit(lanes []bitvec.Word, w, i, k int) bool {
 	return lanes[i*w+k>>6]>>(uint(k)&63)&1 == 1
 }
 
 // setLaneBit sets pattern k of lane i to 1 (lanes start all-zero).
+//
+//logicreg:hotpath
 func setLaneBit(lanes []bitvec.Word, w, i, k int) {
 	lanes[i*w+k>>6] |= 1 << (uint(k) & 63)
 }
 
 // patternBools extracts pattern k of a lane-packed batch into dst (one entry
 // per lane).
+//
+//logicreg:hotpath
 func patternBools(lanes []bitvec.Word, w, nLanes, k int, dst []bool) {
 	for i := 0; i < nLanes; i++ {
 		dst[i] = laneBit(lanes, w, i, k)

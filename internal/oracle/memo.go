@@ -88,6 +88,8 @@ func (o *Memo) InputNames() []string  { return o.inner.InputNames() }
 func (o *Memo) OutputNames() []string { return o.inner.OutputNames() }
 
 // shard picks the shard for a key by FNV-1a hash.
+//
+//logicreg:hotpath
 func (o *Memo) shard(key string) *memoShard {
 	if len(o.shards) == 1 {
 		return &o.shards[0]
@@ -212,6 +214,8 @@ func (o *Memo) EvalBatch(patterns []bitvec.Word, n int) []bitvec.Word {
 }
 
 // scatterBools writes one response into bit k of each output lane.
+//
+//logicreg:hotpath
 func scatterBools(out []bitvec.Word, w, k int, v []bool) {
 	for j, bit := range v {
 		if bit {

@@ -24,12 +24,18 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//logicreg:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//logicreg:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current count.
+//
+//logicreg:hotpath
 func (c *Counter) Load() int64 { return c.v.Load() }
 
 // histBuckets is the bucket count of a latency histogram: bucket i counts
@@ -48,6 +54,8 @@ type Histogram struct {
 }
 
 // bucketOf maps a duration to its bucket index.
+//
+//logicreg:hotpath
 func bucketOf(d time.Duration) int {
 	us := d.Microseconds()
 	if us < 1 {
@@ -61,6 +69,8 @@ func bucketOf(d time.Duration) int {
 }
 
 // Observe records one duration.
+//
+//logicreg:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(d)].Add(1)
 	h.count.Add(1)
@@ -133,6 +143,8 @@ type Meter struct {
 }
 
 // Add records n events now.
+//
+//logicreg:hotpath
 func (m *Meter) Add(n int64) {
 	now := time.Now().Unix()
 	i := int(now % meterSlots)
