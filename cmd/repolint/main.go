@@ -1,22 +1,37 @@
 // Command repolint runs the repo-specific static analyzers — the AST rules
-// (scalareval, seededrand, orphanerr, errcompare, nodeadline) and the
+// (scalareval, seededrand, orphanerr, errcompare, nodeadline), the
 // flow-sensitive contract checkers (randtaint, locksafe, panicbridge,
-// goleak); see internal/analysis/analyzers — over Go packages. It speaks
-// the vet unit-checker protocol, so the same binary works standalone and as
-// a vettool:
+// goleak), the interprocedural concurrency/allocation contracts
+// (atomicsafe, chanflow, ctxcancel, hotalloc), and the cross-package
+// map-order determinism contract (mapdet); see
+// internal/analysis/analyzers — over Go packages. It speaks the vet
+// unit-checker protocol, so the same binary works standalone and as a
+// vettool:
 //
 //	repolint ./...                          # standalone
 //	go vet -vettool=$(pwd)/repolint ./...   # under the go command (CI)
 //
-// Exit status is 2 when any analyzer reports a finding. Standalone runs can
-// ratchet per-analyzer finding counts against a checked-in floor instead of
-// failing on any finding at all:
+// Standalone runs schedule packages over the dependency DAG in parallel
+// (-parallel, default GOMAXPROCS) and, with -cache DIR (or the
+// REPOLINT_CACHE environment variable), replay unchanged packages from a
+// content-addressed cache keyed on source, export data, the analyzer set,
+// and dependency facts — output is byte-identical to a cold sequential
+// run. Analyzers exchange cross-package summaries (facts) in both modes:
+// standalone through the driver, under vet through .vetx files.
+//
+//	repolint -parallel 8 -cache ~/.cache/repolint -stats ./...
+//
+// -format selects text (default), json, or sarif (SARIF 2.1.0, for GitHub
+// code scanning uploads). Exit status is 2 when any analyzer reports a
+// finding. Standalone runs can ratchet per-analyzer finding counts against
+// a checked-in floor instead of failing on any finding at all:
 //
 //	repolint -baseline REPOLINT_BASELINE.json ./...        # enforce (CI)
 //	repolint -baseline REPOLINT_BASELINE.json -write-baseline ./...  # tighten
 //
 // Counts only go down: a count above its baseline entry fails, a count
-// below it prints a reminder to tighten the floor.
+// below it prints a reminder to tighten the floor, and a baseline entry
+// naming no registered analyzer fails as stale.
 package main
 
 import (

@@ -31,6 +31,11 @@ type Analyzer struct {
 	Doc string
 	// Run inspects a package and reports findings through the pass.
 	Run func(*Pass) error
+	// FactTypes declares the cross-package fact types the analyzer
+	// exports or imports (pointer prototypes; see facts.go). An analyzer
+	// with fact types also runs on dependency-only units so its
+	// summaries reach dependents.
+	FactTypes []Fact
 }
 
 // A Pass presents one package to one analyzer.
@@ -49,6 +54,11 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	// readFacts resolves dependency fact sets; exported collects this
+	// package's outgoing facts. Both may be nil for fact-less runs
+	// (fixtures, Unit.Analyze): Import finds nothing, Export is a no-op.
+	readFacts FactReader
+	exported  *PackageFacts
 }
 
 // Reportf records a diagnostic at pos.

@@ -35,13 +35,20 @@
 //	            it on every iteration path of its unconditioned loops
 //	hotalloc    //logicreg:hotpath functions are allocation-free on all
 //	            non-panic paths (cross-checked against -gcflags=-m)
+//	mapdet      range-over-map and select-arrival values must not reach
+//	            returned slices, serialized output, or merge positions
+//	            without an intervening sort — the determinism contract
+//	            the parallel learning core is held to
 //
 // The flow-sensitive rules run on internal/analysis/flow (CFGs, a forward
 // lattice solver, and bottom-up call-graph summaries); see DESIGN.md §10.
 // The concurrency/allocation contract rules (atomicsafe, chanflow,
 // ctxcancel, hotalloc) additionally use its interprocedural layer
 // (field-access classification, cold/cycle blocks, reachability); see
-// DESIGN.md §12 for the annotation grammar.
+// DESIGN.md §12 for the annotation grammar. Three analyzers — hotalloc,
+// panicbridge, and mapdet — additionally export cross-package facts
+// (AllocFree, OracleReachable, Unordered) through the framework's facts
+// store, so their summaries survive package boundaries; see DESIGN.md §13.
 package analyzers
 
 import (
@@ -52,11 +59,13 @@ import (
 // cheap AST matchers; the second group (randtaint, locksafe, panicbridge,
 // goleak) are flow-sensitive rules built on internal/analysis/flow; the
 // third group (atomicsafe, chanflow, ctxcancel, hotalloc) are the
-// interprocedural concurrency and hot-path allocation contracts.
+// interprocedural concurrency and hot-path allocation contracts; mapdet
+// is the cross-package map-order determinism contract.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ScalarEval, SeededRand, OrphanErr, ErrCompare, NoDeadline,
 		RandTaint, LockSafe, PanicBridge, GoLeak,
 		AtomicSafe, ChanFlow, CtxCancel, HotAlloc,
+		MapDet,
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"go/token"
 	"path/filepath"
 	"regexp"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -187,8 +189,13 @@ func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc, "logicregression/fixture/hotalloc")
 }
 
-// TestRepoIsClean runs every analyzer over the whole module: the rules the
-// analyzers encode are supposed to hold in production code right now.
+func TestMapDetFixture(t *testing.T) {
+	runFixture(t, MapDet, "logicregression/fixture/mapdet")
+}
+
+// TestRepoIsClean runs every analyzer over the whole module through the
+// parallel facts-aware driver: the rules the analyzers encode are supposed
+// to hold in production code right now, including the cross-package ones.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and analyzes the full module")
@@ -197,13 +204,63 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	for _, u := range units {
-		diags, err := u.Analyze(All())
-		if err != nil {
-			t.Fatalf("%s: %v", u.ImportPath, err)
+	d := &analysis.Driver{Analyzers: All(), Parallel: runtime.NumCPU()}
+	results, stats, err := d.Run(units)
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	if stats.Failed != 0 {
+		t.Errorf("%d units failed to analyze", stats.Failed)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Unit.ImportPath, r.Err)
 		}
-		for _, d := range diags {
+		for _, d := range r.Diags {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestHotAllocExportsFactsOnRealCode pins the cross-package side of the
+// hot-path contract: analyzing internal/bitvec (all hot-path leaf code)
+// must yield AllocFree facts on its exported API, or callers in other
+// packages would have nothing to import.
+func TestHotAllocExportsFactsOnRealCode(t *testing.T) {
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("export index: %v", err)
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "bitvec", "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no bitvec sources: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		if strings.HasSuffix(p, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	_, facts, err := analysis.CheckFilesWithFacts(fset, files,
+		"logicregression/internal/bitvec", exports, nil,
+		[]*analysis.Analyzer{HotAlloc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if facts.Len() == 0 {
+		t.Fatal("hotalloc exported no facts for internal/bitvec")
+	}
+	blob, err := facts.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"AllocFree"`) {
+		t.Errorf("facts blob carries no AllocFree entries:\n%s", blob)
 	}
 }

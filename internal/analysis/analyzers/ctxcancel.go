@@ -97,25 +97,25 @@ func runCtxCancel(pass *analysis.Pass) error {
 	}
 	graph.Fixpoint(func(n *flow.CallNode) bool {
 		sums := observes[n.Fn]
-		carriers := make(map[types.Object]bool)
-		idxOf := make(map[types.Object]int)
-		for i, p := range paramObjs[n.Fn] {
+		params := paramObjs[n.Fn]
+		var carrierIdx []int
+		for i, p := range params {
 			if cancelCarrier(p.Type()) {
-				carriers[p] = true
-				idxOf[p] = i
+				carrierIdx = append(carrierIdx, i)
 			}
 		}
-		if len(carriers) == 0 {
+		if len(carrierIdx) == 0 {
 			return false
 		}
 		changed := false
 		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
-			for obj := range carriers {
-				if nodeObservesCancel(info, observes, x, map[types.Object]bool{obj: true}) {
-					if i := idxOf[obj]; !sums[i] {
-						sums[i] = true
-						changed = true
-					}
+			for _, i := range carrierIdx {
+				if sums[i] {
+					continue
+				}
+				if nodeObservesCancel(info, observes, x, map[types.Object]bool{params[i]: true}) {
+					sums[i] = true
+					changed = true
 				}
 			}
 			return true

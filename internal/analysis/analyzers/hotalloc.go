@@ -30,19 +30,36 @@ import (
 //
 // Same-package callees are resolved by bottom-up summary over the call
 // graph, so a hotpath kernel may call local helpers freely as long as the
-// whole tree stays allocation-free. Blocks that can only reach the CFG's
-// panic exit are cold: a fmt.Sprintf feeding a bounds-check panic is fine.
-// Genuine exceptions (amortized growth of reused scratch) are annotated
-// with `//logicreg:allow hotalloc <reason>`. The static verdicts are
-// cross-checked against `go build -gcflags=-m` escape output by
-// TestHotpathGcflagsCrossCheck.
+// whole tree stays allocation-free. Cross-package callees are resolved
+// through the facts store: every package run exports an AllocFree fact on
+// each exported function its summary proves allocation-free, and a
+// hot-path call into another module package is vouched for when the
+// callee carries that fact — the static allowlist below remains only for
+// packages outside the module (whose facts are never computed). Blocks
+// that can only reach the CFG's panic exit are cold: a fmt.Sprintf feeding
+// a bounds-check panic is fine. Genuine exceptions (amortized growth of
+// reused scratch) are annotated with `//logicreg:allow hotalloc <reason>`.
+// The static verdicts are cross-checked against `go build -gcflags=-m`
+// escape output by TestHotpathGcflagsCrossCheck.
 var HotAlloc = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags heap allocations, interface boxing, closures, defer-in-loop, " +
 		"and unvouched calls on the non-panic paths of //logicreg:hotpath " +
-		"functions, with bottom-up summaries for same-package callees",
-	Run: runHotAlloc,
+		"functions, with bottom-up summaries for same-package callees and " +
+		"AllocFree facts for cross-package ones",
+	Run:       runHotAlloc,
+	FactTypes: []analysis.Fact{&AllocFree{}},
 }
+
+// An AllocFree fact marks an exported function whose bottom-up summary
+// found no allocation on any hot (non-panic) path — or whose allocations
+// are all reviewed `//logicreg:allow hotalloc` exceptions, which the
+// contract treats as vouched (amortized growth of reused scratch). Hot
+// paths in dependent packages may call it freely.
+type AllocFree struct{}
+
+// AFact marks AllocFree as a fact type.
+func (*AllocFree) AFact() {}
 
 // hotPathAllowedPkgs are the imported packages hot paths may call into:
 // their exported operations are allocation-free (or runtime-managed, for
@@ -138,6 +155,14 @@ func runHotAlloc(pass *analysis.Pass) error {
 			}
 		}
 	}
+
+	// Publish the clean summaries: an exported function with no
+	// allocation evidence is vouched for dependents' hot paths.
+	for _, n := range graph.Exported() {
+		if summary[n] == nil {
+			pass.ExportObjectFact(n.Fn, &AllocFree{})
+		}
+	}
 	return nil
 }
 
@@ -177,7 +202,7 @@ func scanHotBody(pass *analysis.Pass, body *ast.BlockStmt, sup map[string]bool) 
 					add(x.Pos(), "allocates a closure (function literal)")
 					return false
 				case *ast.CallExpr:
-					scanHotCall(info, pkg, x, sc, add)
+					scanHotCall(pass, pkg, x, sc, add)
 				case *ast.CompositeLit:
 					if t := info.TypeOf(x); t != nil {
 						switch t.Underlying().(type) {
@@ -214,7 +239,8 @@ func scanHotBody(pass *analysis.Pass, body *ast.BlockStmt, sup map[string]bool) 
 }
 
 // scanHotCall classifies one call on a hot path.
-func scanHotCall(info *types.Info, pkg *types.Package, call *ast.CallExpr, sc *funcScan, add func(token.Pos, string)) {
+func scanHotCall(pass *analysis.Pass, pkg *types.Package, call *ast.CallExpr, sc *funcScan, add func(token.Pos, string)) {
+	info := pass.TypesInfo
 	// Conversions.
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		target := tv.Type
@@ -257,15 +283,19 @@ func scanHotCall(info *types.Info, pkg *types.Package, call *ast.CallExpr, sc *f
 	if fnPkg == nil {
 		return // universe-scope methods (error.Error): no allocation
 	}
-	// Same-package callees are judged by summary; imported ones by
-	// allowlist.
+	// Same-package callees are judged by summary; imported ones by fact,
+	// then allowlist.
 	if fnPkg == pkg {
 		sc.localCalls = append(sc.localCalls, localCall{pos: call.Pos(), callee: fn})
 		return
 	}
+	if pass.ImportObjectFact(fn, &AllocFree{}) {
+		return
+	}
 	if !hotPathAllowedPkgs[fnPkg.Path()] {
 		add(call.Pos(), "calls "+fnPkg.Name()+"."+fn.Name()+
-			", outside the hot-path allowlist (sync, sync/atomic, math/bits, time, bitvec)")
+			", outside the hot-path allowlist (sync, sync/atomic, math/bits, time, bitvec) "+
+			"and carrying no allocation-free fact")
 	}
 }
 

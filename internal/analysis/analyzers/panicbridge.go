@@ -19,14 +19,29 @@ import (
 // recover() in those packages must type-check its result against
 // *oracle.Failure and re-panic anything else, so a bridge never swallows a
 // genuine bug.
+// Oracle reachability crosses package boundaries through the facts store:
+// each run exports an OracleReachable fact on every exported function whose
+// summary reaches an oracle entry point, and a call to an imported function
+// carrying that fact marks the caller oracle-reachable too — so a core
+// helper that funnels through an exported oracle-package wrapper is held to
+// the bridge contract even though it never names Eval itself.
 var PanicBridge = &analysis.Analyzer{
 	Name: "panicbridge",
 	Doc: "in internal/core and internal/oracle: error-typed panic payloads " +
 		"on oracle-reachable paths must be *oracle.Failure, and every " +
 		"recover result must be type-asserted to *oracle.Failure with the " +
-		"rest re-panicked",
-	Run: runPanicBridge,
+		"rest re-panicked; reachability crosses packages via OracleReachable facts",
+	Run:       runPanicBridge,
+	FactTypes: []analysis.Fact{&OracleReachable{}},
 }
+
+// An OracleReachable fact marks an exported function from whose body an
+// oracle entry point (Eval, EvalBatch, ...) is reachable; panics below a
+// call to it cross core.Learn's catchFailure bridge.
+type OracleReachable struct{}
+
+// AFact marks OracleReachable as a fact type.
+func (*OracleReachable) AFact() {}
 
 const failurePkg = "logicregression/internal/oracle"
 
@@ -47,8 +62,10 @@ func runPanicBridge(pass *analysis.Pass) error {
 	graph := flow.BuildCallGraph(pass.Files, info)
 
 	// Bottom-up summary: a function is oracle-reachable if its body (or a
-	// same-package callee's) calls an oracle entry point. Indirect calls do
-	// not propagate reachability — conservative toward fewer findings.
+	// same-package callee's) calls an oracle entry point, or calls an
+	// imported function that another package's run proved reaches one
+	// (the OracleReachable fact). Indirect calls do not propagate
+	// reachability — conservative toward fewer findings.
 	reaches := map[*flow.CallNode]bool{}
 	bodyCallsOracle := func(body ast.Node) bool {
 		found := false
@@ -59,6 +76,11 @@ func runPanicBridge(pass *analysis.Pass) error {
 			}
 			if sel, ok := astutil.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 				if oracleEntryPoints[sel.Sel.Name] {
+					found = true
+				}
+			}
+			if fn := astutil.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+				if pass.ImportObjectFact(fn, &OracleReachable{}) {
 					found = true
 				}
 			}
@@ -88,6 +110,11 @@ func runPanicBridge(pass *analysis.Pass) error {
 			checkPanicPayloads(pass, n.Decl.Body)
 		}
 		checkRecovers(pass, n.Decl.Body)
+	}
+	for _, n := range graph.Exported() {
+		if reaches[n] {
+			pass.ExportObjectFact(n.Fn, &OracleReachable{})
+		}
 	}
 	return nil
 }

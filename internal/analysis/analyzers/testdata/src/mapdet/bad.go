@@ -1,0 +1,100 @@
+// The mapdet fixture: map-iteration and select-arrival order reaching
+// returned slices, serialized output, and merge positions without a sort.
+package mapdet
+
+import (
+	"fmt"
+	"io"
+)
+
+// Returning a slice built in map iteration order.
+func keysUnsorted(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks // want "ks is in map iteration order; sort it before it is returned"
+}
+
+// Serializing inside the loop: the bytes hit the stream in map order.
+func dumpInline(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "output written inside map iteration depends on its order"
+	}
+}
+
+// Serializing a collected slice without sorting it first.
+func dumpCollected(w io.Writer, m map[string]int) {
+	var lines []string
+	for k := range m {
+		lines = append(lines, k)
+	}
+	fmt.Fprintln(w, lines) // want "lines is in map iteration order; sort it before it is serialized"
+}
+
+// Sending per-key values to a channel: the receiver merges arrival order.
+func feed(ch chan string, m map[string]int) {
+	for k := range m {
+		ch <- k // want "send inside map iteration delivers values in its order"
+	}
+}
+
+// A loop-carried counter is a merge position; the map key would not be.
+func compact(m map[int]string) []string {
+	out := make([]string, len(m))
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "write through loop-carried index i places values in map iteration order"
+		i++
+	}
+	return out
+}
+
+// Float accumulation is not order-insensitive.
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "accumulating float64 values in map iteration order is not deterministic"
+	}
+	return sum
+}
+
+// Neither is string concatenation.
+func join(m map[string]bool) string {
+	s := ""
+	for k := range m {
+		s += k // want "accumulating string values in map iteration order is not deterministic"
+	}
+	return s
+}
+
+// A select with two live cases merges in arrival order.
+func merge(a, b chan int) []int {
+	var got []int
+	for i := 0; i < 8; i++ {
+		select {
+		case v := <-a:
+			got = append(got, v)
+		case v := <-b:
+			got = append(got, v)
+		}
+	}
+	return got // want "got is in select arrival order; sort it before it is returned"
+}
+
+// An acknowledged unordered return (the allow suppresses it, and exports
+// the Unordered fact instead) puts the sorting obligation on the caller.
+func rawKeys(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	//logicreg:allow mapdet callers own the ordering of the raw key set
+	return ks
+}
+
+// ...which this caller drops on the floor.
+func printRaw(w io.Writer, m map[int]bool) {
+	ks := rawKeys(m)
+	fmt.Fprintln(w, ks) // want "ks is in the unordered order of rawKeys's result; sort it before it is serialized"
+}

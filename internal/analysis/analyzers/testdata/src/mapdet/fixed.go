@@ -1,0 +1,91 @@
+// The repaired forms: every map-ordered value meets a sort (or an
+// order-insensitive reduction) before it can be observed.
+package mapdet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Collect, sort, then return: the canonical idiom.
+func keysSorted(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Collect, sort, then serialize.
+func dumpSorted(w io.Writer, m map[string]int) {
+	var lines []string
+	for k, v := range m {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// Indexing by the map key itself is deterministic — each value has one
+// home regardless of visit order.
+func invert(m map[int]string, n int) []string {
+	out := make([]string, n)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Building another map is order-insensitive.
+func flip(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Integer accumulation commutes (wrap-around + is associative).
+func count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sort.Slice also clears the taint.
+func pairsSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// A single live case plus default is a poll, not a merge.
+func drain(ch chan int) []int {
+	var got []int
+	for {
+		select {
+		case v := <-ch:
+			got = append(got, v)
+		default:
+			sort.Ints(got)
+			return got
+		}
+	}
+}
+
+// The caller of an acknowledged-unordered function discharges its
+// obligation by sorting before use.
+func printRawSorted(w io.Writer, m map[int]bool) {
+	ks := rawKeys(m)
+	sort.Ints(ks)
+	fmt.Fprintln(w, ks)
+}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The driver tests run against a throwaway two-package module
+// (example.com/facttest: b imports a) and a purpose-built analyzer whose
+// diagnostics in b depend on facts exported from a — so every invalidation
+// edge of the cache key (own source, dependency facts, driver version) is
+// observable as a re-analysis.
+
+// panicsFact marks an exported function that panics on some path.
+type panicsFact struct{}
+
+func (*panicsFact) AFact() {}
+
+// panicFinder exports panicsFact on every exported function whose body
+// contains a direct panic call, and reports every call to a function
+// carrying the fact — so a diagnostic in b exists only because of a fact
+// produced while analyzing a.
+var panicFinder = &Analyzer{
+	Name:      "panicfinder",
+	Doc:       "test analyzer: flag calls to panicking functions",
+	FactTypes: []Fact{&panicsFact{}},
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				panics := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+							panics = true
+						}
+					}
+					return true
+				})
+				if panics {
+					pass.ExportObjectFact(pass.TypesInfo.Defs[fd.Name], &panicsFact{})
+				}
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == pass.Pkg {
+					return true
+				}
+				if pass.ImportObjectFact(obj, &panicsFact{}) {
+					pass.Reportf(call.Pos(), "call to panicking %s.%s", obj.Pkg().Name(), obj.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const aSrc = `package a
+
+func Boom() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+	panic("boom")
+}
+
+func Calm() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+`
+
+const bSrc = `package b
+
+import "example.com/facttest/a"
+
+func Use() {
+	a.Boom()
+	a.Calm()
+}
+`
+
+// writeModule lays out the temp module and returns its root.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/facttest\n\ngo 1.21\n",
+		"a/a.go": aSrc,
+		"b/b.go": bSrc,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// format renders results the way the standalone runner prints text mode, so
+// byte equality here is byte equality of user-visible output.
+func format(t *testing.T, results []UnitResult) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Unit.ImportPath, r.Err)
+		}
+		for _, d := range r.Diags {
+			fmt.Fprintf(&sb, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	return sb.String()
+}
+
+func TestDriverCacheInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list on a temp module")
+	}
+	dir := writeModule(t)
+	cache, err := OpenCache(filepath.Join(dir, "factcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Analyzers: []*Analyzer{panicFinder}, Parallel: 4, Cache: cache, Version: "test-1"}
+
+	run := func() ([]UnitResult, RunStats) {
+		t.Helper()
+		units, err := LoadPackages(dir, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(units) != 2 {
+			t.Fatalf("loaded %d units, want 2", len(units))
+		}
+		results, stats, err := d.Run(units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, stats
+	}
+
+	// Cold: everything analyzed, the fact-dependent diagnostic present.
+	results, stats := run()
+	if stats.Cached != 0 || stats.Units != 2 || stats.Failed != 0 {
+		t.Fatalf("cold stats = %+v, want 2 units, 0 cached, 0 failed", stats)
+	}
+	cold := format(t, results)
+	if !strings.Contains(cold, "call to panicking a.Boom") {
+		t.Fatalf("cross-package fact did not reach b:\n%s", cold)
+	}
+	if strings.Contains(cold, "Calm") {
+		t.Fatalf("diagnostic for a non-panicking callee:\n%s", cold)
+	}
+
+	// Warm: both replayed, output byte-identical.
+	results, stats = run()
+	if stats.Cached != 2 {
+		t.Fatalf("warm stats = %+v, want 2 cached", stats)
+	}
+	if warm := format(t, results); warm != cold {
+		t.Fatalf("replayed output differs:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+
+	// Touching b invalidates b only.
+	bPath := filepath.Join(dir, "b", "b.go")
+	if err := os.WriteFile(bPath, []byte(bSrc+"\n// trailing comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats = run(); stats.Cached != 1 {
+		t.Fatalf("after editing b: %+v, want 1 cached (a)", stats)
+	}
+
+	// Changing a's behaviour invalidates a (own source) and b (a's
+	// published cache key feeds b's key), and b's replay must pick up the
+	// fact a now exports.
+	aPath := filepath.Join(dir, "a", "a.go")
+	newA := strings.Replace(aSrc, "func Calm() {\n\tfor i := 0; i < 3; i++ {\n\t\t_ = i\n\t}",
+		"func Calm() {\n\tfor i := 0; i < 3; i++ {\n\t\tpanic(\"no longer calm\")\n\t}", 1)
+	if newA == aSrc {
+		t.Fatal("test bug: replacement did not apply")
+	}
+	if err := os.WriteFile(aPath, []byte(newA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, stats = run()
+	if stats.Cached != 0 {
+		t.Fatalf("after editing a: %+v, want 0 cached (facts changed under b)", stats)
+	}
+	if out := format(t, results); !strings.Contains(out, "call to panicking a.Calm") {
+		t.Fatalf("b did not observe a's new fact:\n%s", out)
+	}
+
+	// A version bump invalidates everything.
+	if _, stats = run(); stats.Cached != 2 {
+		t.Fatal("expected a fully warm cache before the version bump")
+	}
+	d.Version = "test-2"
+	if _, stats = run(); stats.Cached != 0 {
+		t.Fatalf("after version bump: %+v, want 0 cached", stats)
+	}
+}
+
+// TestDriverNarrowPatternInvalidation covers the dependency edge where the
+// dep is NOT a unit of the run (narrow patterns): its sources must still
+// reach the dependent's cache key through the recursive source hash.
+func TestDriverNarrowPatternInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list on a temp module")
+	}
+	dir := writeModule(t)
+	cache, err := OpenCache(filepath.Join(dir, "factcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Analyzers: []*Analyzer{panicFinder}, Cache: cache, Version: "test-1"}
+
+	run := func() RunStats {
+		t.Helper()
+		units, err := LoadPackages(dir, "./b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(units) != 1 {
+			t.Fatalf("loaded %d units, want 1", len(units))
+		}
+		_, stats, err := d.Run(units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	if stats := run(); stats.Cached != 0 {
+		t.Fatalf("cold: %+v, want 0 cached", stats)
+	}
+	if stats := run(); stats.Cached != 1 {
+		t.Fatalf("warm: %+v, want 1 cached", stats)
+	}
+	// Editing the out-of-run dependency must invalidate b.
+	aPath := filepath.Join(dir, "a", "a.go")
+	if err := os.WriteFile(aPath, []byte(aSrc+"\n// touched\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if stats := run(); stats.Cached != 0 {
+		t.Fatalf("after editing dep: %+v, want 0 cached", stats)
+	}
+}
+
+// TestDriverScheduleDeterminism pins the core output contract: any unit
+// order, any parallelism, cached or not — same bytes.
+func TestDriverScheduleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list on a temp module")
+	}
+	dir := writeModule(t)
+	units, err := LoadPackages(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sequential := &Driver{Analyzers: []*Analyzer{panicFinder}, Parallel: 1}
+	results, _, err := sequential.Run(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := format(t, results)
+	if want == "" {
+		t.Fatal("fixture produced no diagnostics; the property is vacuous")
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		shuffled := make([]*Unit, len(units))
+		copy(shuffled, units)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		d := &Driver{Analyzers: []*Analyzer{panicFinder}, Parallel: 1 + trial%4}
+		results, _, err := d.Run(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := format(t, results); got != want {
+			t.Fatalf("trial %d (parallel=%d): output differs\nwant:\n%s\ngot:\n%s",
+				trial, 1+trial%4, want, got)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// typecheck parses and type-checks a dependency-free source string, giving
+// the facts tests real types.Object values to address.
+func typecheck(t *testing.T, path, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+const factFixtureSrc = `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func (*T) PM() {}
+
+type hidden struct{}
+
+func (hidden) M() {}
+
+func F() {}
+
+var V int
+
+func unexported() {}
+`
+
+// method resolves a named type's method by name.
+func method(t *testing.T, pkg *types.Package, typeName, name string) types.Object {
+	t.Helper()
+	named := pkg.Scope().Lookup(typeName).Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("no method %s.%s", typeName, name)
+	return nil
+}
+
+func TestObjectFactKey(t *testing.T) {
+	pkg := typecheck(t, "example.com/p", factFixtureSrc)
+	lookup := pkg.Scope().Lookup
+
+	cases := []struct {
+		obj  types.Object
+		key  string
+		want bool
+	}{
+		{lookup("F"), "F", true},
+		{lookup("V"), "V", true},
+		{lookup("T"), "T", true},
+		{method(t, pkg, "T", "M"), "T.M", true},
+		{method(t, pkg, "T", "PM"), "T.PM", true}, // pointer receiver unwraps
+		{lookup("unexported"), "", false},
+		{lookup("hidden"), "", false},
+		{method(t, pkg, "hidden", "M"), "", false}, // exported method, hidden type
+		{nil, "", false},
+	}
+	for _, tc := range cases {
+		key, ok := ObjectFactKey(tc.obj)
+		if key != tc.key || ok != tc.want {
+			t.Errorf("ObjectFactKey(%v) = %q, %v; want %q, %v", tc.obj, key, ok, tc.key, tc.want)
+		}
+	}
+}
+
+// testFact is a serializable fact with a payload, so round trips can check
+// the value and not just presence.
+type testFact struct {
+	N int
+}
+
+func (*testFact) AFact() {}
+
+// otherFact exists to be absent from registries.
+type otherFact struct{}
+
+func (*otherFact) AFact() {}
+
+func TestFactsRoundTrip(t *testing.T) {
+	pkg := typecheck(t, "example.com/p", factFixtureSrc)
+	reg := FactRegistry{"testFact": reflect.TypeOf(&testFact{})}
+
+	exported := NewPackageFacts(pkg.Path())
+	pass := &Pass{Pkg: pkg, exported: exported}
+	pass.ExportObjectFact(pkg.Scope().Lookup("F"), &testFact{N: 7})
+	pass.ExportObjectFact(method(t, pkg, "T", "M"), &testFact{N: 9})
+	pass.ExportObjectFact(pkg.Scope().Lookup("unexported"), &testFact{N: 1}) // dropped
+	if exported.Len() != 2 {
+		t.Fatalf("exported %d facts, want 2 (unexported object must be a no-op)", exported.Len())
+	}
+
+	blob, err := exported.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := exported.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("Encode is not deterministic")
+	}
+
+	decoded, err := DecodePackageFacts(blob, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != 2 {
+		t.Fatalf("decoded %d facts, want 2", decoded.Len())
+	}
+
+	// A downstream pass in another package reads through a FactReader.
+	down := typecheck(t, "example.com/q", "package q")
+	reader := FactReader(func(path string) *PackageFacts {
+		if path == pkg.Path() {
+			return decoded
+		}
+		return nil
+	})
+	dpass := &Pass{Pkg: down, readFacts: reader}
+	var got testFact
+	if !dpass.ImportObjectFact(pkg.Scope().Lookup("F"), &got) || got.N != 7 {
+		t.Errorf("ImportObjectFact(F) = %v, %d; want true, 7", got, got.N)
+	}
+	if !dpass.ImportObjectFact(method(t, pkg, "T", "M"), &got) || got.N != 9 {
+		t.Errorf("ImportObjectFact(T.M) = %v, %d; want true, 9", got, got.N)
+	}
+	if dpass.ImportObjectFact(pkg.Scope().Lookup("V"), &got) {
+		t.Error("ImportObjectFact(V) found a fact that was never exported")
+	}
+	var other otherFact
+	if dpass.ImportObjectFact(pkg.Scope().Lookup("F"), &other) {
+		t.Error("ImportObjectFact matched a fact of a different type")
+	}
+
+	// The exporting pass reads its own facts back without a reader.
+	if !pass.ImportObjectFact(pkg.Scope().Lookup("F"), &got) || got.N != 7 {
+		t.Error("same-package ImportObjectFact did not read back the export")
+	}
+}
+
+func TestDecodeSkipsUnknownFactTypes(t *testing.T) {
+	pkg := typecheck(t, "example.com/p", factFixtureSrc)
+	exported := NewPackageFacts(pkg.Path())
+	pass := &Pass{Pkg: pkg, exported: exported}
+	pass.ExportObjectFact(pkg.Scope().Lookup("F"), &testFact{N: 3})
+	blob, err := exported.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodePackageFacts(blob, FactRegistry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != 0 {
+		t.Errorf("decode with an empty registry kept %d facts, want 0", decoded.Len())
+	}
+	if pf, err := DecodePackageFacts(nil, FactRegistry{}); err != nil || pf != nil {
+		t.Errorf("decoding an empty blob = %v, %v; want nil, nil", pf, err)
+	}
+}
+
+func TestFactRegistry(t *testing.T) {
+	mk := func(name string, facts ...Fact) *Analyzer {
+		return &Analyzer{Name: name, FactTypes: facts, Run: func(*Pass) error { return nil }}
+	}
+	reg, err := NewFactRegistry([]*Analyzer{
+		mk("a", &testFact{}),
+		mk("b", &testFact{}), // same type twice is fine
+		mk("c", &otherFact{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg) != 2 {
+		t.Fatalf("registry has %d entries, want 2", len(reg))
+	}
+	if _, err := NewFactRegistry([]*Analyzer{mk("bad", nonPointerFact{})}); err == nil {
+		t.Error("non-pointer fact type was accepted")
+	}
+}
+
+type nonPointerFact struct{}
+
+func (nonPointerFact) AFact() {}

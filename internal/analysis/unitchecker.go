@@ -9,8 +9,10 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
 // The vet unit-checker protocol, reverse-engineered from what the go
@@ -21,10 +23,13 @@ import (
 //	tool <unit>.cfg      analyze one package unit described by the config
 //
 // For every unit the go command expects the tool to write the facts file
-// named by VetxOutput; units with VetxOnly=true exist only to produce facts
-// for dependents. Our analyzers are fact-free, so those units get an empty
-// facts file and no analysis. Diagnostics go to stderr as file:line:col
-// lines and make the tool exit 2, which `go vet` relays as failure.
+// named by VetxOutput, and supplies the dependencies' facts files in
+// PackageVetx. Units with VetxOnly=true exist only to produce facts for
+// dependents: for packages inside this module the fact-producing analyzers
+// run with diagnostics suppressed (their summaries are what dependents
+// import); everything else gets an empty facts file and no analysis.
+// Diagnostics go to stderr as file:line:col lines and make the tool exit
+// 2, which `go vet` relays as failure.
 
 // vetConfig is the subset of the vet.cfg JSON the tool consumes.
 type vetConfig struct {
@@ -35,6 +40,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -52,8 +58,8 @@ func Main(analyzers ...*Analyzer) {
 			return
 		case strings.HasPrefix(a, "-V"):
 			// Tool identity for the go command's action cache. Changing
-			// VERSION invalidates cached vet results after analyzer edits.
-			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), version)
+			// Version invalidates cached vet results after analyzer edits.
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), Version)
 			return
 		}
 	}
@@ -63,9 +69,14 @@ func Main(analyzers ...*Analyzer) {
 	os.Exit(runStandalone(args, analyzers))
 }
 
-// version participates in the go command's content hash for cached vet
-// results; bump it when analyzer behaviour changes.
-const version = "repolint-3.0"
+// Version participates in the go command's content hash for cached vet
+// results and in every analysis-cache key; bump it when analyzer behaviour
+// changes.
+const Version = "repolint-4.0"
+
+// modulePrefix gates which dependency-only vet units are worth running the
+// fact producers on: facts only exist for this module's own packages.
+const modulePrefix = "logicregression"
 
 func runUnit(cfgPath string, analyzers []*Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
@@ -78,16 +89,49 @@ func runUnit(cfgPath string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The facts file must exist for the go command's bookkeeping even
-	// though these analyzers produce no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	reg, err := NewFactRegistry(analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	writeFacts := func(pf *PackageFacts) int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		var blob []byte
+		if pf != nil {
+			var err error
+			if blob, err = pf.Encode(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
+	}
+
+	inModule := strings.HasPrefix(cfg.ImportPath, modulePrefix)
+	run := analyzers
+	if cfg.VetxOnly {
+		if !inModule {
+			return writeFacts(nil)
+		}
+		// Dependency-only unit of this module: only the fact producers
+		// matter, and only their facts — not their diagnostics, which
+		// the unit's own `go vet` invocation already reported.
+		run = nil
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				run = append(run, a)
+			}
+		}
+		if len(run) == 0 {
+			return writeFacts(nil)
+		}
 	}
 	// Packages made only of test files (external _test packages) have
 	// nothing to analyze; skip the typecheck entirely.
@@ -98,8 +142,25 @@ func runUnit(cfgPath string, analyzers []*Analyzer) int {
 		}
 	}
 	if production == 0 {
-		return 0
+		return writeFacts(nil)
 	}
+
+	// Dependency facts, decoded lazily from the .vetx files the go
+	// command hands over.
+	decoded := make(map[string]*PackageFacts)
+	reader := FactReader(func(path string) *PackageFacts {
+		if pf, ok := decoded[path]; ok {
+			return pf
+		}
+		var pf *PackageFacts
+		if file, ok := cfg.PackageVetx[path]; ok {
+			if blob, err := os.ReadFile(file); err == nil {
+				pf, _ = DecodePackageFacts(blob, reg)
+			}
+		}
+		decoded[path] = pf
+		return pf
+	})
 
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -107,20 +168,27 @@ func runUnit(cfgPath string, analyzers []*Analyzer) int {
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeFacts(nil)
 			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		files = append(files, f)
 	}
-	diags, err := CheckFiles(fset, files, cfg.ImportPath, cfg.PackageFile, cfg.ImportMap, analyzers)
+	diags, exported, err := CheckFilesWithFacts(fset, files, cfg.ImportPath,
+		cfg.PackageFile, cfg.ImportMap, run, reader)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeFacts(nil)
 		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if rc := writeFacts(exported); rc != 0 {
+		return rc
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
@@ -137,35 +205,82 @@ func runStandalone(args []string, analyzers []*Analyzer) int {
 		"ratchet per-analyzer finding counts against this JSON file")
 	writeBase := fs.Bool("write-baseline", false,
 		"rewrite -baseline with the current counts")
+	format := fs.String("format", "text",
+		"diagnostic output format: text, json, or sarif")
+	parallel := fs.Int("parallel", runtime.NumCPU(),
+		"packages analyzed concurrently (1 = sequential; scheduling is topological either way)")
+	cacheDir := fs.String("cache", os.Getenv("REPOLINT_CACHE"),
+		"analysis cache directory; unchanged packages replay from it (default $REPOLINT_CACHE, empty = off)")
+	stats := fs.Bool("stats", false,
+		"print unit, cache-hit, and wall-clock stats to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	patterns := fs.Args()
 
+	start := time.Now()
 	units, err := LoadPackages(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	driver := &Driver{Analyzers: analyzers, Parallel: *parallel}
+	if *cacheDir != "" {
+		cache, err := OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		driver.Cache = cache
+	}
+	results, rstats, err := driver.Run(units)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
 	exit := 0
 	counts := make(map[string]int, len(analyzers))
 	for _, a := range analyzers {
 		counts[a.Name] = 0
 	}
-	for _, u := range units {
-		diags, err := u.Analyze(analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	var all []Diagnostic
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
 			exit = 1
 			continue
 		}
-		for _, d := range diags {
-			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		for _, d := range r.Diags {
 			counts[d.Analyzer]++
 		}
-		if len(diags) > 0 && *basePath == "" {
-			exit = 2
+		all = append(all, r.Diags...)
+	}
+	if len(all) > 0 && *basePath == "" {
+		exit = 2
+	}
+	switch *format {
+	case "text":
+		for _, d := range all {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
 		}
+	case "json":
+		if err := WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case "sarif":
+		if err := WriteSARIF(os.Stdout, analyzers, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "repolint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 1
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "repolint: %d units (%d cached, %d failed), %d analyzers, %.2fs wall\n",
+			rstats.Units, rstats.Cached, rstats.Failed, len(analyzers), time.Since(start).Seconds())
 	}
 	if *basePath != "" {
 		if rc := ratchet(*basePath, counts, *writeBase); rc != 0 {
@@ -185,6 +300,9 @@ type baselineFile struct {
 
 // ratchet compares the run's per-analyzer counts against the baseline file.
 // With write set it records the current counts as the new floor instead.
+// The comparison is two-sided: baseline entries naming analyzers that no
+// longer exist are errors too — a stale key is a ratchet that silently
+// stopped ratcheting.
 func ratchet(path string, counts map[string]int, write bool) int {
 	if write {
 		// encoding/json emits map keys sorted, so the file is stable.
@@ -231,6 +349,18 @@ func ratchet(path string, counts map[string]int, write bool) int {
 			fmt.Fprintf(os.Stderr, "repolint: ratchet: %q improved: %d findings, baseline %d (tighten with -write-baseline)\n",
 				name, counts[name], limit)
 		}
+	}
+	stale := make([]string, 0)
+	for name := range base.Analyzers {
+		if _, registered := counts[name]; !registered {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		fmt.Fprintf(os.Stderr, "repolint: ratchet: baseline entry %q names no registered analyzer; "+
+			"drop it (or fix the registration) so the floor keeps meaning something\n", name)
+		rc = 2
 	}
 	return rc
 }

@@ -49,7 +49,16 @@ func refine(c *circuit.Circuit, counter *oracle.Counter, reports []OutputReport,
 		if len(witnesses) == 0 {
 			return relearned
 		}
-		for po, ws := range witnesses {
+		// Relearning consumes the shared rng (and races the deadline), so
+		// the outputs must be visited in a fixed order for byte-identical
+		// reruns — not in witness-map order.
+		pos := make([]int, 0, len(witnesses))
+		for po := range witnesses {
+			pos = append(pos, po)
+		}
+		sort.Ints(pos)
+		for _, po := range pos {
+			ws := witnesses[po]
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				return relearned
 			}

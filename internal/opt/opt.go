@@ -15,6 +15,7 @@ package opt
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"logicregression/internal/aig"
@@ -308,7 +309,17 @@ func Fraig(g *aig.AIG, cfg Config) *aig.AIG {
 		}
 
 		var cex []uint64
-		for _, class := range classes {
+		// The first Sat pair supplies the counterexample pattern for the
+		// next round, so the class visit order shapes every later
+		// signature; walk the classes in sorted key order to keep the
+		// optimized circuit identical run to run.
+		classKeys := make([]string, 0, len(classes))
+		for k := range classes {
+			classKeys = append(classKeys, k)
+		}
+		sort.Strings(classKeys)
+		for _, k := range classKeys {
+			class := classes[k]
 			if len(class) < 2 {
 				continue
 			}

@@ -310,7 +310,17 @@ func mergePass(cv Cover) (Cover, bool) {
 	used := make([]bool, len(cv))
 	var out Cover
 	changed := false
-	for _, idxs := range groups {
+	// The greedy pairing below is order-sensitive (a cube pairs with the
+	// first unused distance-1 partner), and so is the order merged cubes
+	// land in out — walk the groups in sorted key order so the result is
+	// identical run to run.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		idxs := groups[k]
 		if len(idxs) < 2 {
 			continue
 		}
