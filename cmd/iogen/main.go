@@ -43,6 +43,7 @@ import (
 	"logicregression/internal/oracle"
 	"logicregression/internal/serve"
 	"logicregression/internal/serve/metrics"
+	"logicregression/internal/store"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func main() {
 		serveWorkers = flag.Int("serve-workers", 0, "learn-job worker concurrency (0 = GOMAXPROCS)")
 		serveQueue   = flag.Int("serve-queue", 0, "learn-job queue depth (0 = default 64)")
 		serveJobs    = flag.Int("serve-jobs-per-tenant", 0, "max active learn jobs per tenant (0 = default 4)")
+		serveStore   = flag.String("store", "", "persistent store directory for the learning service: session/job memos warm-start from the log and finished circuits are reused across restarts (requires -serve)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight handlers before severing them")
 
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the injected-fault schedule")
@@ -141,22 +143,44 @@ func main() {
 	}
 
 	var svc *serve.Service
+	var st *store.Store
 	maxProto := *proto
 	if *serveEnable {
 		if *proto == 1 {
 			fmt.Fprintln(os.Stderr, "iogen: -serve needs batch framing; drop -proto 1")
 			os.Exit(1)
 		}
+		if *serveStore != "" {
+			// Persistence is additive: an unopenable store costs warm starts,
+			// not the service. Recovery damage is reported, never hidden.
+			var err error
+			st, err = store.Open(store.Config{Dir: *serveStore})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iogen: store disabled:", err)
+				st = nil
+			} else if info := st.Recovery(); info.Corrupt {
+				fmt.Fprintln(os.Stderr, "iogen: store recovered with corruption:", info.CorruptDetail)
+			} else if info.TruncatedBytes > 0 {
+				fmt.Fprintf(os.Stderr, "iogen: store repaired a %d-byte torn tail from a previous crash\n", info.TruncatedBytes)
+			}
+		}
 		svc = serve.New(o, serve.Config{
 			Workers:          *serveWorkers,
 			QueueDepth:       *serveQueue,
 			MaxJobsPerTenant: *serveJobs,
+			Store:            st,
 		})
 		srv.Ext = svc.Wire()
 		maxProto = serve.WireProto
-	} else if *metricsAddr != "" {
-		fmt.Fprintln(os.Stderr, "iogen: -metrics requires -serve")
-		os.Exit(1)
+	} else {
+		if *metricsAddr != "" {
+			fmt.Fprintln(os.Stderr, "iogen: -metrics requires -serve")
+			os.Exit(1)
+		}
+		if *serveStore != "" {
+			fmt.Fprintln(os.Stderr, "iogen: -store requires -serve")
+			os.Exit(1)
+		}
 	}
 
 	metricsStop := make(chan struct{})
@@ -198,6 +222,12 @@ func main() {
 		<-drained
 		if svc != nil {
 			svc.Drain()
+		}
+		if st != nil {
+			// After Drain no worker is writing; flush the tail and seal.
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "iogen: store close:", err)
+			}
 		}
 		close(metricsStop)
 		if metricsDone != nil {

@@ -45,6 +45,7 @@ import (
 	"logicregression/internal/oracle"
 	"logicregression/internal/serve"
 	"logicregression/internal/serve/metrics"
+	"logicregression/internal/store"
 )
 
 type benchReport struct {
@@ -68,6 +69,7 @@ type benchReport struct {
 	JobsResumed   int64 `json:"jobs_resumed"`
 	RejectedQueue int64 `json:"rejected_queue_full"`
 	RejectedQuota int64 `json:"rejected_quota"`
+	StoreWarmHits int64 `json:"store_warm_hits,omitempty"`
 
 	MemoHitRate float64 `json:"memo_hit_rate"`
 
@@ -93,6 +95,7 @@ func main() {
 		learnDiv = flag.Int("learn-every", 50, "every Nth client also runs a learn job (0 = none)")
 		seed     = flag.Int64("seed", 1, "fleet behaviour seed")
 		out      = flag.String("out", "", "write the JSON report here ('' = stdout only)")
+		storeDir = flag.String("store", "", "persistent store directory for the self-hosted service: learns warm-start from it and completed circuits are reused across runs (self-hosted mode only)")
 	)
 	flag.Parse()
 
@@ -120,6 +123,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "loadgen: -addr and -listen are mutually exclusive")
 			os.Exit(1)
 		}
+		if *storeDir != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -store only applies to the self-hosted service; pass it to the server instead")
+			os.Exit(1)
+		}
 		rep.Transport, rep.Addr = "tcp", *addr
 		dial = func() (*serve.Client, error) {
 			return serve.DialWith(*addr, ioserve.DialConfig{IOTimeout: time.Minute})
@@ -132,7 +139,15 @@ func main() {
 			os.Exit(1)
 		}
 		base := c.Oracle()
-		svc = serve.New(base, serve.Config{})
+		var st *store.Store
+		if *storeDir != "" {
+			st, err = store.Open(store.Config{Dir: *storeDir})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: store disabled:", err)
+				st = nil
+			}
+		}
+		svc = serve.New(base, serve.Config{Store: st})
 		srv := ioserve.NewServer(base)
 		srv.Ext = svc.Wire()
 
@@ -184,6 +199,11 @@ func main() {
 			srv.Shutdown(ln, 10*time.Second)
 			<-serveDone
 			svc.Drain()
+			if st != nil {
+				if err := st.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "loadgen: store close:", err)
+				}
+			}
 		}
 	}
 
@@ -282,6 +302,7 @@ func main() {
 		rep.JobsResumed = snap.Counters["jobs_resumed"]
 		rep.RejectedQueue = snap.Counters["rejected_queue_full"]
 		rep.RejectedQuota = snap.Counters["rejected_quota"]
+		rep.StoreWarmHits = snap.Counters["store_warm_hits"]
 		rep.MemoHitRate = snap.Gauges["memo_hit_rate"]
 
 		// The leak gate: after a full teardown every handler, client, and

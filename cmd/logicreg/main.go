@@ -32,6 +32,7 @@ import (
 	"logicregression/internal/eval"
 	"logicregression/internal/ioserve"
 	"logicregression/internal/oracle"
+	"logicregression/internal/store"
 )
 
 func main() {
@@ -55,8 +56,14 @@ func main() {
 		hidden    = flag.Bool("hidden-compression", false, "hunt for hidden comparators and compress inputs")
 		selfCheck = flag.Int("self-check", 0, "after learning, measure accuracy with this many patterns")
 		record    = flag.String("record", "", "record every black-box query to this transcript file")
+		storeDir  = flag.String("store", "", "persistent store directory: warm-start the memo from the log, persist every answered query, and reuse a previously learned circuit when this oracle/seed/options was already solved")
+		storeImp  = flag.String("store-import", "", "import a recorded transcript (-record format) into the store's memo log before learning (requires -store)")
 	)
 	flag.Parse()
+	if *storeImp != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "logicreg: -store-import requires -store")
+		os.Exit(1)
+	}
 
 	o, closer, err := loadOracle(*caseName, *netlist, *remote, *proto, ioserve.DialConfig{
 		ConnectTimeout: *oTimeout,
@@ -76,10 +83,61 @@ func main() {
 	// Memoization before validation: the validation probes land in the same
 	// cache the learner reads, so no black-box query is ever paid twice.
 	// For remote sessions the memo doubles as the reconnect-resume
-	// substrate, so it is not optional there.
-	memoize := *memo || *remote != ""
+	// substrate, so it is not optional there; with -store it is the
+	// write-through persistence point, so it is not optional there either.
+	memoize := *memo || *remote != "" || *storeDir != ""
+	var m *oracle.Memo
 	if memoize {
-		o = oracle.NewMemo(o)
+		m = oracle.NewMemo(o)
+		o = m
+	}
+
+	// The persistent store is strictly additive: preloaded answers came
+	// from the same deterministic black box, so the learn stays
+	// byte-identical; a failing disk degrades to memory-only. Open errors
+	// therefore warn instead of aborting a learn that works without disk.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logicreg: store disabled:", err)
+		} else {
+			defer func() {
+				stats := st.Stats()
+				fmt.Fprintf(os.Stderr, "store: %d memo entries (%d bytes), %d circuits, %d writes this run",
+					stats.MemoEntries, stats.MemoLogBytes, stats.Circuits, stats.HookWrites)
+				if stats.Degraded {
+					fmt.Fprintf(os.Stderr, " — DEGRADED to memory-only (%v)", st.Err())
+				}
+				fmt.Fprintln(os.Stderr)
+				m.SetHook(nil)
+				st.Close()
+			}()
+			if info := st.Recovery(); info.Corrupt {
+				fmt.Fprintln(os.Stderr, "logicreg: store recovered with corruption:", info.CorruptDetail)
+			} else if info.TruncatedBytes > 0 {
+				fmt.Fprintf(os.Stderr, "logicreg: store repaired a %d-byte torn tail from a previous crash\n", info.TruncatedBytes)
+			}
+			if *storeImp != "" {
+				f, err := os.Open(*storeImp)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "logicreg:", err)
+					os.Exit(1)
+				}
+				n, err := st.ImportTranscript(f, oracle.IdentityOf(o))
+				f.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "logicreg: transcript import:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "store: imported %d transcript entries\n", n)
+			}
+			preloaded := st.AttachMemo(m)
+			if preloaded > 0 {
+				fmt.Fprintf(os.Stderr, "store: warm-started memo with %d persisted answers\n", preloaded)
+			}
+		}
 	}
 	// One probe query up front: a remote generator with mismatched arity
 	// or a broken frame encoding should fail here, not hours into the run.
@@ -102,7 +160,7 @@ func main() {
 		o = rec
 	}
 
-	res := core.Learn(o, core.Options{
+	opts := core.Options{
 		Seed:                 *seed,
 		TimeLimit:            *timeLimit,
 		SupportR:             *supportR,
@@ -112,7 +170,27 @@ func main() {
 		DisableOptimization:  *noOpt,
 		HiddenCompression:    *hidden,
 		MemoizeQueries:       memoize,
-	})
+	}
+
+	// Warm start: a circuit already stored under this exact learn key
+	// (oracle identity + seed + result-determining options) is what this
+	// run would re-learn byte for byte — load it instead of paying for the
+	// learn again. Corrupt blobs are reported and fall through to a fresh
+	// learn; they can never be served as an answer.
+	var learnKey store.LearnKey
+	if st != nil {
+		learnKey = store.LearnKey{Identity: oracle.IdentityOf(o), Seed: *seed, Options: store.OptionsSig(opts)}
+		switch c, err := st.GetCircuit(learnKey); {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "logicreg: stored circuit unusable, relearning:", err)
+		case c != nil:
+			fmt.Fprintf(os.Stderr, "store: warm start — reusing stored circuit (%d gates) for this oracle/seed/options\n", c.Size())
+			writeNetlist(*outPath, c)
+			return
+		}
+	}
+
+	res := core.Learn(o, opts)
 
 	fmt.Fprintf(os.Stderr, "learned: %s\n", res)
 	for _, or := range res.Outputs {
@@ -122,6 +200,13 @@ func main() {
 	if res.Degraded {
 		fmt.Fprintf(os.Stderr, "logicreg: black box died mid-learn (%s); writing best-so-far circuit\n",
 			res.DegradedReason)
+	}
+	// A degraded result is a best-effort circuit, not the learn key's true
+	// answer — never cache it as one.
+	if st != nil && !res.Degraded && res.Circuit != nil {
+		if err := st.PutCircuit(learnKey, res.Circuit); err != nil {
+			fmt.Fprintln(os.Stderr, "logicreg: could not store learned circuit:", err)
+		}
 	}
 
 	if *selfCheck > 0 {
@@ -134,9 +219,15 @@ func main() {
 		}
 	}
 
+	writeNetlist(*outPath, res.Circuit)
+}
+
+// writeNetlist writes the learned circuit to path (stdout when empty),
+// exiting with status 1 on any I/O error.
+func writeNetlist(path string, c *circuit.Circuit) {
 	var w io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "logicreg:", err)
 			os.Exit(1)
@@ -144,7 +235,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := circuit.WriteNetlist(w, res.Circuit); err != nil {
+	if err := circuit.WriteNetlist(w, c); err != nil {
 		fmt.Fprintln(os.Stderr, "logicreg:", err)
 		os.Exit(1)
 	}

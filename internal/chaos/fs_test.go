@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"logicregression/internal/vfs"
+)
+
+func TestFaultFSTransparentWhenZero(t *testing.T) {
+	mem := vfs.NewMemFS()
+	f := NewFaultFS(mem, FSConfig{})
+	if err := f.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.OpenFile("d/x", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if got := string(mem.Snapshot("d/x")); got != "hello" {
+		t.Fatalf("content = %q", got)
+	}
+	if f.Written() != 5 {
+		t.Fatalf("Written = %d", f.Written())
+	}
+}
+
+func TestFaultFSCrashAtByte(t *testing.T) {
+	mem := vfs.NewMemFS()
+	mem.MkdirAll("d", 0o755)
+	f := NewFaultFS(mem, FSConfig{CrashAtByte: 7})
+	h, err := f.OpenFile("d/x", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	// The second write crosses the budget: exactly 2 more bytes land.
+	n, err := h.Write([]byte("world"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("crash write applied %d bytes, want 2", n)
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed = false after crash")
+	}
+	// Everything after the crash fails.
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if err := h.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if _, err := f.OpenFile("d/y", os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	if err := f.Rename("d/x", "d/z"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v", err)
+	}
+	// The surviving bytes are exactly the pre-crash prefix.
+	if got := string(mem.Snapshot("d/x")); got != "hellowo" {
+		t.Fatalf("survivors = %q, want %q", got, "hellowo")
+	}
+}
+
+func TestFaultFSTornWriteDeterministic(t *testing.T) {
+	run := func(seed int64) (applied []byte, errs int) {
+		mem := vfs.NewMemFS()
+		mem.MkdirAll("d", 0o755)
+		f := NewFaultFS(mem, FSConfig{Seed: seed, TornWriteRate: 0.5})
+		h, _ := f.OpenFile("d/x", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		for i := 0; i < 32; i++ {
+			if _, err := h.Write([]byte("0123456789")); err != nil {
+				if !errors.Is(err, ErrTornWrite) {
+					t.Fatalf("unexpected write error: %v", err)
+				}
+				errs++
+			}
+		}
+		h.Close()
+		return mem.Snapshot("d/x"), errs
+	}
+	a1, e1 := run(42)
+	a2, e2 := run(42)
+	if !bytes.Equal(a1, a2) || e1 != e2 {
+		t.Fatalf("same seed diverged: %d vs %d bytes, %d vs %d errors", len(a1), len(a2), e1, e2)
+	}
+	if e1 == 0 {
+		t.Fatal("rate 0.5 over 32 writes injected nothing")
+	}
+	b1, _ := run(43)
+	if bytes.Equal(a1, b1) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultFSSyncErrors(t *testing.T) {
+	mem := vfs.NewMemFS()
+	mem.MkdirAll("d", 0o755)
+	f := NewFaultFS(mem, FSConfig{Seed: 7, SyncErrRate: 0.5})
+	h, _ := f.OpenFile("d/x", os.O_CREATE|os.O_WRONLY, 0o644)
+	errs := 0
+	for i := 0; i < 64; i++ {
+		if err := h.Sync(); err != nil {
+			if !errors.Is(err, ErrInjectedSync) {
+				t.Fatalf("unexpected sync error: %v", err)
+			}
+			errs++
+		}
+	}
+	if errs == 0 || errs == 64 {
+		t.Fatalf("sync errors = %d of 64, want a seeded mix", errs)
+	}
+}
+
+func TestFaultFSReadBitFlips(t *testing.T) {
+	mem := vfs.NewMemFS()
+	mem.MkdirAll("d", 0o755)
+	payload := bytes.Repeat([]byte{0x00}, 256)
+	h, _ := mem.OpenFile("d/x", os.O_CREATE|os.O_WRONLY, 0o644)
+	h.Write(payload)
+	h.Close()
+
+	f := NewFaultFS(mem, FSConfig{Seed: 3, ReadFlipRate: 1})
+	r, _ := f.OpenFile("d/x", os.O_RDONLY, 0)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	flipped := 0
+	for _, b := range got {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("ReadFlipRate=1 flipped nothing")
+	}
+	// The underlying bytes are untouched: rot is injected on the read path.
+	if !bytes.Equal(mem.Snapshot("d/x"), payload) {
+		t.Fatal("read fault mutated the underlying file")
+	}
+}

@@ -22,6 +22,13 @@ import (
 )
 
 // WriteNetlist serializes the circuit in the text netlist format.
+//
+// Gate names are canonical: sequential in emission order starting at the
+// PI count, which is exactly the node numbering ParseNetlist reconstructs.
+// That makes serialization a fixed point — write(parse(write(c))) ==
+// write(c) — so circuits that pass through a netlist (the persistent
+// circuit store, the wire protocol) re-serialize byte-identically, which
+// the fixed-seed reproducibility contract depends on.
 func WriteNetlist(w io.Writer, c *Circuit) error {
 	bw := bufio.NewWriter(w)
 	names := make([]string, len(c.nodes))
@@ -30,13 +37,13 @@ func WriteNetlist(w io.Writer, c *Circuit) error {
 	}
 	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(c.piNames, " "))
 	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(c.poNames, " "))
+	next := len(c.pis)
 	for id, n := range c.nodes {
 		if n.Type == PI {
 			continue
 		}
-		if names[id] == "" {
-			names[id] = fmt.Sprintf("n%d", id)
-		}
+		names[id] = fmt.Sprintf("n%d", next)
+		next++
 		switch {
 		case n.Type == Const0 || n.Type == Const1:
 			fmt.Fprintf(bw, "%s = %s\n", names[id], n.Type)

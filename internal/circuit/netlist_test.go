@@ -37,6 +37,58 @@ func TestNetlistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNetlistWriteIsFixedPoint pins the byte-stability contract the
+// persistent circuit store depends on: re-serializing a parsed netlist
+// reproduces the exact bytes, even when the original circuit's internal
+// node numbering (e.g. a constant allocated before the PIs) differs from
+// the parser's file-order numbering.
+func TestNetlistWriteIsFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		orig := randomCircuit(rng, 5, 30, 2)
+		var first bytes.Buffer
+		if err := WriteNetlist(&first, orig); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseNetlist(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: ParseNetlist: %v", trial, err)
+		}
+		var second bytes.Buffer
+		if err := WriteNetlist(&second, parsed); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("trial %d: write(parse(write(c))) != write(c):\n%s\nvs:\n%s",
+				trial, first.String(), second.String())
+		}
+	}
+
+	// The motivating case: a constant node allocated before the PIs gets a
+	// different internal id after parsing, but the same canonical name.
+	c := New()
+	k := c.Const(false)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.AddPO("z", c.Or(c.And(a, b), k))
+	var first bytes.Buffer
+	if err := WriteNetlist(&first, c); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNetlist(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteNetlist(&second, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("const-before-PI circuit not byte-stable:\n%s\nvs:\n%s",
+			first.String(), second.String())
+	}
+}
+
 func TestNetlistRoundTripWithConstants(t *testing.T) {
 	c := New()
 	a := c.AddPI("a")

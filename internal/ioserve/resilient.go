@@ -207,10 +207,12 @@ func (r *ResilientClient) session() (*Client, error) {
 		return nil, err
 	}
 	if r.ins != nil {
-		if !sameNames(c.ins, r.ins) || !sameNames(c.outs, r.outs) {
+		pinned := oracle.Identity{Ins: r.ins, Outs: r.outs}
+		fresh := oracle.Identity{Ins: c.ins, Outs: c.outs}
+		if !fresh.Equal(pinned) {
 			c.conn.Close()
-			return nil, fmt.Errorf("%w: got %d-in/%d-out %v -> %v, want %v -> %v",
-				ErrServerChanged, len(c.ins), len(c.outs), c.ins, c.outs, r.ins, r.outs)
+			return nil, fmt.Errorf("%w: got %v (%v -> %v), want %v (%v -> %v)",
+				ErrServerChanged, fresh, c.ins, c.outs, pinned, r.ins, r.outs)
 		}
 		r.redials++
 	} else {
@@ -338,16 +340,18 @@ func (r *ResilientClient) doResume(op func(*Client) (progressed bool, err error)
 	return fmt.Errorf("ioserve: giving up after %d attempts: %v", r.retry.MaxAttempts, last)
 }
 
-func sameNames(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
+// Identity returns the server's pinned identity — the port names from the
+// first greeting, the same names every reconnect must present verbatim
+// (ErrServerChanged otherwise). It is the stable key for persistent state
+// about this black box: a circuit learned against one session of a server
+// is retrievable by any later session that pins the same identity.
+func (r *ResilientClient) Identity() oracle.Identity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return oracle.Identity{
+		Ins:  append([]string(nil), r.ins...),
+		Outs: append([]string(nil), r.outs...),
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // NumInputs returns the pinned input arity.

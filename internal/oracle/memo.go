@@ -27,6 +27,30 @@ const DefaultMemoCapacity = 1 << 18
 // memoShardCount is the shard fan-out for large caches; must be a power of 2.
 const memoShardCount = 16
 
+// MemoHook observes cache mutations — the attachment point for the
+// write-through persistence layer (internal/store). Both callbacks run
+// outside the shard locks, on the goroutine that caused the mutation, and
+// must not call back into the memo. A hook must never panic on an
+// oracle-reachable path with anything but *Failure; persistence hooks
+// swallow their I/O errors instead (a failing disk must not fail a learn).
+//
+// MemoInsert fires when a fresh black-box response enters the cache (not on
+// Preload, and not when a concurrent racer already inserted the key).
+// MemoEvict fires when the LRU bound pushes an entry out — the last chance
+// to persist a hot-but-bounded entry whose insert predates the hook (e.g. a
+// store attached to an already-warm memo), which is why eviction is a
+// separate callback rather than folded into insert.
+type MemoHook interface {
+	MemoInsert(key string, out []bool)
+	MemoEvict(key string, out []bool)
+}
+
+// MemoKey returns the canonical cache key for an assignment (its bits
+// packed little-endian into a byte string). Exported so persistence layers
+// and transcript importers address the cache exactly the way the memo
+// itself does.
+func MemoKey(a []bool) string { return assignKey(a) }
+
 // Memo wraps an oracle with a bounded LRU response cache keyed on the full
 // assignment. It is safe for concurrent use as long as the inner oracle is
 // (misses are evaluated outside the shard locks).
@@ -34,6 +58,10 @@ type Memo struct {
 	inner    Oracle
 	shards   []memoShard
 	capacity int // per shard
+
+	// hook is the attached mutation observer (nil when none). Stored as an
+	// atomic pointer so SetHook synchronizes with concurrent queries.
+	hook atomic.Pointer[MemoHook]
 
 	// Stats are memo-level atomics rather than per-shard fields so the
 	// serving metrics surface can read hit rates without touching a single
@@ -82,6 +110,25 @@ func NewMemoCap(o Oracle, capacity int) *Memo {
 	return m
 }
 
+// SetHook attaches a mutation observer (nil detaches). Attach before the
+// memo serves queries to observe every insert; attaching mid-life is safe
+// but entries inserted earlier are only observed if they later evict.
+func (o *Memo) SetHook(h MemoHook) {
+	if h == nil {
+		o.hook.Store(nil)
+		return
+	}
+	o.hook.Store(&h)
+}
+
+// currentHook loads the attached hook, nil when none.
+func (o *Memo) currentHook() MemoHook {
+	if p := o.hook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 func (o *Memo) NumInputs() int        { return o.inner.NumInputs() }
 func (o *Memo) NumOutputs() int       { return o.inner.NumOutputs() }
 func (o *Memo) InputNames() []string  { return o.inner.InputNames() }
@@ -119,26 +166,57 @@ func (o *Memo) get(s *memoShard, key string) ([]bool, bool) {
 
 // put inserts a response, evicting the least recently used entry beyond the
 // shard capacity. Concurrent racers inserting the same key are harmless: the
-// values are identical by determinism of the oracle.
+// values are identical by determinism of the oracle. Hook callbacks fire
+// after the shard lock is released, in mutation order (insert before the
+// evictions it caused).
 func (o *Memo) put(s *memoShard, key string, out []bool) {
-	var evicted int64
+	inserted, evicted := o.insert(s, key, out)
+	if evicted != nil {
+		o.evictions.Add(int64(len(evicted)))
+	}
+	h := o.currentHook()
+	if h == nil {
+		return
+	}
+	if inserted {
+		h.MemoInsert(key, out)
+	}
+	for _, e := range evicted {
+		h.MemoEvict(e.key, e.out)
+	}
+}
+
+// insert is the locked core of put: it reports whether the key was freshly
+// inserted and returns the entries the LRU bound pushed out.
+func (o *Memo) insert(s *memoShard, key string, out []bool) (inserted bool, evicted []*memoEntry) {
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
 		s.order.MoveToFront(el)
 		s.mu.Unlock()
-		return
+		return false, nil
 	}
 	s.entries[key] = s.order.PushFront(&memoEntry{key: key, out: out})
 	for s.order.Len() > o.capacity {
 		last := s.order.Back()
 		s.order.Remove(last)
-		delete(s.entries, last.Value.(*memoEntry).key)
-		evicted++
+		e := last.Value.(*memoEntry)
+		delete(s.entries, e.key)
+		evicted = append(evicted, e)
 	}
 	s.mu.Unlock()
-	if evicted > 0 {
-		o.evictions.Add(evicted)
-	}
+	return true, evicted
+}
+
+// Preload inserts a response without touching the hit/miss counters and
+// without firing the hook — the warm-start path, used to replay a persisted
+// memo log (or another memo's contents) into a fresh cache. Entries the
+// preload itself evicts are dropped silently: they came from the log, so
+// re-persisting them would only echo. Preloading never changes learn
+// results, only which queries reach the inner oracle — the cached values
+// are the oracle's own answers, so a warm learn is byte-identical to a cold
+// one at the same seed.
+func (o *Memo) Preload(key string, out []bool) {
+	o.insert(o.shard(key), key, append([]bool(nil), out...))
 }
 
 func (o *Memo) Eval(a []bool) []bool {

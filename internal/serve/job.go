@@ -61,6 +61,7 @@ func newJob(svc *Service, id string, sess *Session, seed int64) *Job {
 		done:     make(chan struct{}),
 	}
 	j.memo = oracle.NewMemoCap(svc.fork(), svc.cfg.JobMemo)
+	svc.attachStore(j.memo)
 	j.counter = oracle.NewCounter(j.memo)
 	return j
 }

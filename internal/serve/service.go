@@ -46,6 +46,7 @@ import (
 	"logicregression/internal/core"
 	"logicregression/internal/oracle"
 	"logicregression/internal/serve/metrics"
+	"logicregression/internal/store"
 )
 
 // Admission errors. All three are wire-transient: the condition clears as
@@ -88,6 +89,13 @@ type Config struct {
 	// Learn is the base learner configuration; Seed, Progress, and Cancel
 	// are overridden per job.
 	Learn core.Options
+	// Store, when non-nil, persists learning state across restarts: every
+	// session and job memo is warm-started from the memo log and writes
+	// through to it, completed jobs save their circuits, and a job whose
+	// exact learn key (oracle identity + seed + options) is already stored
+	// completes instantly from the circuit store. The store degrades to
+	// memory-only on disk faults; learns are never affected.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +135,8 @@ type Service struct {
 	locked oracle.Oracle // shared serialized handle when base cannot fork
 	cfg    Config
 	reg    *metrics.Registry
+	store  *store.Store    // nil when persistence is off
+	ident  oracle.Identity // the black box's identity, the circuit-store key root
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -153,6 +163,7 @@ type Service struct {
 	mRejQuota     *metrics.Counter
 	mSessOpened   *metrics.Counter
 	mSessClosed   *metrics.Counter
+	mStoreWarm    *metrics.Counter
 }
 
 // New builds a service over the black box and starts its worker pool. Call
@@ -189,6 +200,21 @@ func New(base oracle.Oracle, cfg Config) *Service {
 	s.reg.Gauge("sessions_active", func() float64 { return float64(s.SessionCount()) })
 	s.reg.Gauge("goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
 	s.reg.Gauge("memo_hit_rate", func() float64 { return s.MemoStats().HitRate() })
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.ident = oracle.IdentityOf(base)
+		s.mStoreWarm = s.reg.Counter("store_warm_hits")
+		s.reg.Gauge("store_memo_entries", func() float64 { return float64(s.store.Stats().MemoEntries) })
+		s.reg.Gauge("store_log_bytes", func() float64 { return float64(s.store.Stats().MemoLogBytes) })
+		s.reg.Gauge("store_circuits", func() float64 { return float64(s.store.Stats().Circuits) })
+		s.reg.Gauge("store_dropped", func() float64 { return float64(s.store.Stats().Dropped) })
+		s.reg.Gauge("store_degraded", func() float64 {
+			if s.store.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -215,6 +241,16 @@ func (s *Service) fork() oracle.Oracle {
 		return f.Fork()
 	}
 	return s.locked
+}
+
+// attachStore warm-starts a freshly built memo from the persistent store
+// (preload + write-through hook) when persistence is configured. Preloaded
+// answers came from the same deterministic black box, so warm-started
+// learns stay byte-identical — only the hit/miss accounting changes.
+func (s *Service) attachStore(m *oracle.Memo) {
+	if s.store != nil {
+		s.store.AttachMemo(m)
+	}
 }
 
 // id mints a process-unique identifier with the given prefix.
@@ -463,6 +499,23 @@ func (s *Service) run(j *Job) {
 	// layer inside Learn would only shadow its hit counters.
 	opts.MemoizeQueries = false
 	opts.Cancel = cancel
+
+	// Warm start: a stored circuit under this exact learn key (oracle
+	// identity + seed + result-determining options) is byte-identical to
+	// what core.Learn would produce, so the job completes instantly.
+	var learnKey store.LearnKey
+	if s.store != nil {
+		learnKey = store.LearnKey{Identity: s.ident, Seed: j.Seed, Options: store.OptionsSig(opts)}
+		if c, err := s.store.GetCircuit(learnKey); err == nil && c != nil {
+			s.running.Add(-1)
+			s.mStoreWarm.Inc()
+			res := &core.Result{Circuit: c, Size: c.Size(), SizeBeforeOpt: c.Size()}
+			j.finish(res)
+			s.jobDone(j)
+			s.mJobsDone.Inc()
+			return
+		}
+	}
 	userProgress := s.cfg.Learn.Progress
 	opts.Progress = func(ev core.Progress) {
 		j.noteProgress(ev)
@@ -480,6 +533,12 @@ func (s *Service) run(j *Job) {
 		s.mJobsCanceled.Inc()
 	} else {
 		s.mJobsDone.Inc()
+		// Persist the completed circuit for future warm starts. Degraded
+		// results are best-effort partials, not the learn key's true
+		// answer — never cache those.
+		if s.store != nil && !res.Degraded && res.Circuit != nil {
+			s.store.PutCircuit(learnKey, res.Circuit)
+		}
 	}
 }
 

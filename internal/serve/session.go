@@ -34,6 +34,7 @@ func newSession(svc *Service, id, tenant string) *Session {
 		lastActive: time.Now(),
 	}
 	s.memo = oracle.NewMemoCap(svc.fork(), svc.cfg.SessionMemo)
+	svc.attachStore(s.memo)
 	s.oracle = &sessionOracle{sess: s, inner: s.memo}
 	return s
 }

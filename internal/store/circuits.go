@@ -1,0 +1,232 @@
+package store
+
+// The circuit store: content-addressed netlist blobs plus an append-only
+// index mapping learn keys to blob hashes. A blob is the canonical netlist
+// serialization of a learned circuit, named by its SHA-256; the name IS the
+// checksum, so a read that hashes clean is exactly the bytes that were
+// written, and identical circuits learned under different keys share one
+// blob. The index uses the same framed-record format as the memo log, with
+// last-wins replay, so re-learning a key simply appends a newer mapping.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sync"
+
+	"logicregression/internal/check"
+	"logicregression/internal/circuit"
+	"logicregression/internal/vfs"
+)
+
+const circuitEntryTag = 'c'
+
+// ErrCorruptBlob reports a circuit object whose bytes no longer hash to
+// their name — media rot the content address catches.
+var ErrCorruptBlob = errors.New("store: circuit blob checksum mismatch")
+
+// encodeCircuitEntry packs one index record: tag, uvarint key length, key,
+// 32 raw hash bytes.
+func encodeCircuitEntry(key string, hash [sha256.Size]byte) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+sha256.Size)
+	buf = append(buf, circuitEntryTag)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	return append(buf, hash[:]...)
+}
+
+func decodeCircuitEntry(p []byte) (key string, hash [sha256.Size]byte, err error) {
+	if len(p) == 0 || p[0] != circuitEntryTag {
+		return "", hash, fmt.Errorf("store: circuit entry has bad tag")
+	}
+	p = p[1:]
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) != klen+sha256.Size {
+		return "", hash, fmt.Errorf("store: circuit entry length mismatch")
+	}
+	key = string(p[n : n+int(klen)])
+	copy(hash[:], p[n+int(klen):])
+	return key, hash, nil
+}
+
+// circuitStore is the blob + index pair. All index mutation is under mu;
+// blob writes are idempotent (content-addressed) and need no lock beyond
+// the atomic rename.
+type circuitStore struct {
+	fs   vfs.FS
+	root string
+
+	mu    sync.Mutex
+	index vfs.File
+	byKey map[string]string // learn key -> hex blob hash
+}
+
+func (c *circuitStore) indexName() string { return path.Join(c.root, "circuits.log") }
+func (c *circuitStore) objectDir() string { return path.Join(c.root, "objects") }
+func (c *circuitStore) objectName(hexHash string) string {
+	return path.Join(c.objectDir(), hexHash)
+}
+
+// openCircuitStore replays the index, repairing a torn tail the same way
+// the memo log does, and opens it for appends.
+func openCircuitStore(fsys vfs.FS, root string, info *RecoveryInfo) (*circuitStore, error) {
+	c := &circuitStore{fs: fsys, root: root, byKey: make(map[string]string)}
+	if err := fsys.MkdirAll(c.objectDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create object dir: %w", err)
+	}
+	name := c.indexName()
+	if f, err := fsys.OpenFile(name, os.O_RDONLY, 0); err == nil {
+		data, rerr := io.ReadAll(f)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("store: read circuit index: %w", rerr)
+		}
+		sc := recordScanner{data: data}
+		for {
+			payload, err := sc.next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				dropped := data[sc.off:]
+				if !scanTail(dropped) {
+					info.TruncatedBytes += int64(len(dropped))
+					if terr := truncateFile(fsys, name, int64(sc.off)); terr != nil {
+						return nil, fmt.Errorf("store: repair circuit index: %w", terr)
+					}
+				} else {
+					info.Corrupt = true
+					info.CorruptDetail = fmt.Sprintf("%s: %v", name, err)
+				}
+				break
+			}
+			key, hash, derr := decodeCircuitEntry(payload)
+			if derr != nil {
+				info.Corrupt = true
+				info.CorruptDetail = fmt.Sprintf("%s: %v", name, derr)
+				break
+			}
+			c.byKey[key] = hex.EncodeToString(hash[:])
+		}
+	}
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open circuit index: %w", err)
+	}
+	c.index = f
+	return c, nil
+}
+
+func truncateFile(fsys vfs.FS, name string, size int64) error {
+	f, err := fsys.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// put stores a circuit under a learn key: blob first (write-fsync-rename,
+// so the index never points at a half-written object), then the index
+// record, fsynced immediately — circuit saves are rare and each one is a
+// whole learn's work.
+func (c *circuitStore) put(key string, circ *circuit.Circuit) error {
+	var blob bytes.Buffer
+	if err := circuit.WriteNetlist(&blob, circ); err != nil {
+		return fmt.Errorf("store: serialize circuit: %w", err)
+	}
+	hash := sha256.Sum256(blob.Bytes())
+	hexHash := hex.EncodeToString(hash[:])
+
+	objName := c.objectName(hexHash)
+	if _, err := c.fs.Stat(objName); err != nil {
+		tmpName := objName + ".tmp"
+		tmp, err := c.fs.OpenFile(tmpName, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: create blob: %w", err)
+		}
+		if _, err := tmp.Write(blob.Bytes()); err != nil {
+			tmp.Close()
+			c.fs.Remove(tmpName)
+			return fmt.Errorf("store: write blob: %w", err)
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			c.fs.Remove(tmpName)
+			return fmt.Errorf("store: fsync blob: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("store: close blob: %w", err)
+		}
+		if err := c.fs.Rename(tmpName, objName); err != nil {
+			c.fs.Remove(tmpName)
+			return fmt.Errorf("store: publish blob: %w", err)
+		}
+		c.fs.SyncDir(c.objectDir())
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey[key] == hexHash {
+		return nil // identical mapping already durable
+	}
+	rec := appendRecord(nil, encodeCircuitEntry(key, hash))
+	if _, err := c.index.Write(rec); err != nil {
+		return fmt.Errorf("store: append circuit index: %w", err)
+	}
+	if err := c.index.Sync(); err != nil {
+		return fmt.Errorf("store: fsync circuit index: %w", err)
+	}
+	c.byKey[key] = hexHash
+	return nil
+}
+
+// get loads the circuit stored under a learn key. The blob's bytes are
+// re-hashed against its name before parsing; rot yields ErrCorruptBlob,
+// never a silently wrong circuit.
+func (c *circuitStore) get(key string) (*circuit.Circuit, error) {
+	c.mu.Lock()
+	hexHash, ok := c.byKey[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	f, err := c.fs.OpenFile(c.objectName(hexHash), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("store: open blob %s: %w", hexHash[:12], err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: read blob %s: %w", hexHash[:12], err)
+	}
+	if got := sha256.Sum256(data); hex.EncodeToString(got[:]) != hexHash {
+		return nil, fmt.Errorf("%w: object %s", ErrCorruptBlob, hexHash[:12])
+	}
+	circ, err := check.ReadCircuit(bytes.NewReader(data), "netlist")
+	if err != nil {
+		return nil, fmt.Errorf("store: parse blob %s: %w", hexHash[:12], err)
+	}
+	return circ, nil
+}
+
+func (c *circuitStore) entryCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+func (c *circuitStore) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.index.Close()
+}

@@ -1,0 +1,441 @@
+package store
+
+// The memo log: an append-only, segment-based record of every (assignment,
+// response) pair an oracle memo has answered. Replaying it into a fresh
+// memo before a learn converts cold misses into hits; because the oracle is
+// deterministic, the learn's result is byte-identical either way.
+//
+// Layout: dir/memo-000001.log, memo-000002.log, ... Fixed-width segment
+// numbers keep lexical directory order equal to append order. Appends go to
+// the highest-numbered segment; compaction writes the deduplicated live
+// entries into the next number and deletes the old files, so a reader at
+// any crash point sees either the old segments or the compacted one —
+// replay is last-wins and idempotent, never wrong.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strings"
+	"sync"
+
+	"logicregression/internal/vfs"
+)
+
+// memoEntryTag types a memo-log payload, leaving room for future record
+// kinds in the same framing.
+const memoEntryTag = 'm'
+
+// encodeMemoEntry packs one cache entry: tag, uvarint key length, raw key
+// bytes (the memo's packed-assignment key), uvarint output bit count, and
+// the output bits packed LSB-first.
+func encodeMemoEntry(key string, out []bool) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+(len(out)+7)/8)
+	buf = append(buf, memoEntryTag)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(out)))
+	packed := make([]byte, (len(out)+7)/8)
+	for i, b := range out {
+		if b {
+			packed[i>>3] |= 1 << uint(i&7)
+		}
+	}
+	return append(buf, packed...)
+}
+
+// decodeMemoEntry is the inverse of encodeMemoEntry.
+func decodeMemoEntry(p []byte) (key string, out []bool, err error) {
+	if len(p) == 0 || p[0] != memoEntryTag {
+		return "", nil, fmt.Errorf("store: memo entry has bad tag")
+	}
+	p = p[1:]
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < klen {
+		return "", nil, fmt.Errorf("store: memo entry key length overruns payload")
+	}
+	key = string(p[n : n+int(klen)])
+	p = p[n+int(klen):]
+	bits, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < (bits+7)/8 {
+		return "", nil, fmt.Errorf("store: memo entry bit count overruns payload")
+	}
+	packed := p[n:]
+	out = make([]bool, bits)
+	for i := range out {
+		out[i] = packed[i>>3]&(1<<uint(i&7)) != 0
+	}
+	return key, out, nil
+}
+
+// RecoveryInfo summarizes what opening a memo log found on disk.
+type RecoveryInfo struct {
+	// Segments is the number of log segments present.
+	Segments int
+	// Records is the total valid records replayed.
+	Records int64
+	// Entries is the live (deduplicated) entry count after replay.
+	Entries int
+	// TruncatedBytes is the size of the torn tail repaired on the final
+	// segment — the normal wreckage of a crash mid-append.
+	TruncatedBytes int64
+	// Corrupt reports mid-file corruption: an invalid region that is NOT a
+	// torn tail (valid records exist past it, or it is not in the final
+	// segment). The valid prefix is still used; the loss is reported, not
+	// silently absorbed.
+	Corrupt bool
+	// CorruptDetail describes the corruption when Corrupt is true.
+	CorruptDetail string
+}
+
+// memoLog is the segmented append-only log. All mutating access is under
+// mu; the group-commit flusher goroutine syncs pending appends on a timer.
+type memoLog struct {
+	fs  vfs.FS
+	dir string
+
+	mu        sync.Mutex
+	active    vfs.File
+	activeSeq int
+	totalSize int64
+	pending   int // appends not yet fsynced
+	closed    bool
+
+	// live is the current value per key; order is first-seen key order, the
+	// deterministic iteration sequence for compaction (map iteration order
+	// must never reach the disk).
+	live  map[string][]bool
+	order []string
+
+	syncEvery int
+	compactAt int64
+
+	appends     int64
+	syncs       int64
+	compactions int64
+}
+
+func segmentName(seq int) string { return fmt.Sprintf("memo-%06d.log", seq) }
+
+// parseSegmentName extracts the sequence number, or -1 for foreign files.
+func parseSegmentName(name string) int {
+	if !strings.HasPrefix(name, "memo-") || !strings.HasSuffix(name, ".log") {
+		return -1
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, "memo-"), ".log")
+	if len(num) != 6 {
+		return -1
+	}
+	seq := 0
+	for _, c := range num {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	return seq
+}
+
+// openMemoLog replays every segment in order, repairs a torn tail on the
+// final segment, and opens the highest segment for appends.
+func openMemoLog(fsys vfs.FS, dir string, syncEvery int, compactAt int64) (*memoLog, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("store: list %s: %w", dir, err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq := parseSegmentName(e.Name()); seq > 0 {
+			seqs = append(seqs, seq)
+		}
+	}
+	// ReadDir is lexical and segment numbers are fixed-width, so seqs is
+	// already ascending.
+	l := &memoLog{
+		fs:        fsys,
+		dir:       dir,
+		live:      make(map[string][]bool),
+		syncEvery: syncEvery,
+		compactAt: compactAt,
+	}
+	info.Segments = len(seqs)
+	for i, seq := range seqs {
+		final := i == len(seqs)-1
+		if err := l.replaySegment(seq, final, &info); err != nil {
+			return nil, info, err
+		}
+	}
+	info.Entries = len(l.live)
+
+	l.activeSeq = 1
+	if n := len(seqs); n > 0 {
+		l.activeSeq = seqs[n-1]
+	}
+	name := path.Join(dir, segmentName(l.activeSeq))
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, info, fmt.Errorf("store: open active segment: %w", err)
+	}
+	l.active = f
+	return l, info, nil
+}
+
+// replaySegment loads one segment's valid prefix into the live map. On the
+// final segment a torn tail is truncated in place; any other invalid region
+// is mid-file corruption and is reported via info.
+func (l *memoLog) replaySegment(seq int, final bool, info *RecoveryInfo) error {
+	name := path.Join(l.dir, segmentName(seq))
+	f, err := l.fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("store: open segment %s: %w", name, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("store: read segment %s: %w", name, err)
+	}
+	sc := recordScanner{data: data}
+	for {
+		payload, err := sc.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			dropped := data[sc.off:]
+			if final && !scanTail(dropped) {
+				// Torn tail: the expected shape of a crash mid-append.
+				// Truncate to the recovered prefix so the next append
+				// starts at a record boundary.
+				info.TruncatedBytes += int64(len(dropped))
+				if terr := l.truncateSegment(name, int64(sc.off)); terr != nil {
+					return fmt.Errorf("store: repair torn tail of %s: %w", name, terr)
+				}
+				data = data[:sc.off]
+				break
+			}
+			info.Corrupt = true
+			info.CorruptDetail = fmt.Sprintf("%s: %v (%d bytes after valid prefix dropped)", name, err, len(dropped))
+			// Keep the valid prefix; never parse past a corrupt region —
+			// re-synchronized framing cannot be trusted.
+			break
+		}
+		key, out, derr := decodeMemoEntry(payload)
+		if derr != nil {
+			// The record framing was valid but the payload is not a memo
+			// entry — a logic-level corruption the checksum cannot catch.
+			info.Corrupt = true
+			info.CorruptDetail = fmt.Sprintf("%s: %v", name, derr)
+			break
+		}
+		l.insertLive(key, out)
+		info.Records++
+	}
+	l.totalSize += int64(len(data))
+	return nil
+}
+
+func (l *memoLog) truncateSegment(name string, size int64) error {
+	f, err := l.fs.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// insertLive records the latest value for a key, preserving first-seen
+// order for deterministic compaction.
+func (l *memoLog) insertLive(key string, out []bool) {
+	if _, seen := l.live[key]; !seen {
+		l.order = append(l.order, key)
+	}
+	l.live[key] = out
+}
+
+// append writes one entry and applies the sync policy. syncEvery <= 1 syncs
+// inline on every append; otherwise appends stay pending until the batch
+// fills or the flusher / Close syncs them (group commit).
+func (l *memoLog) append(key string, out []bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("store: memo log closed")
+	}
+	if cur, seen := l.live[key]; seen && boolsEqual(cur, out) {
+		return nil // already durable with the same value
+	}
+	rec := appendRecord(nil, encodeMemoEntry(key, out))
+	if _, err := l.active.Write(rec); err != nil {
+		return fmt.Errorf("store: append memo entry: %w", err)
+	}
+	l.insertLive(key, out)
+	l.totalSize += int64(len(rec))
+	l.appends++
+	l.pending++
+	if l.syncEvery <= 1 || l.pending >= l.syncEvery {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if l.compactAt > 0 && l.totalSize > l.compactAt {
+		return l.compactLocked()
+	}
+	return nil
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *memoLog) syncLocked() error {
+	if l.pending == 0 {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("store: fsync memo log: %w", err)
+	}
+	l.pending = 0
+	l.syncs++
+	return nil
+}
+
+// flushPending is the group-commit tick: fsync any appends accumulated
+// since the last sync.
+func (l *memoLog) flushPending() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// compactLocked rewrites the live entries into the next-numbered segment
+// and deletes the old ones. The new segment is fully written and fsynced
+// under a temporary name before the rename, so a crash at any point leaves
+// either the old segments (compacted file invisible or ignored as .tmp) or
+// the complete new one — replay handles both.
+func (l *memoLog) compactLocked() error {
+	newSeq := l.activeSeq + 1
+	finalName := path.Join(l.dir, segmentName(newSeq))
+	tmpName := finalName + ".tmp"
+
+	var buf []byte
+	liveOrder := make([]string, 0, len(l.live))
+	for _, key := range l.order {
+		out, ok := l.live[key]
+		if !ok {
+			continue
+		}
+		liveOrder = append(liveOrder, key)
+		buf = appendRecord(buf, encodeMemoEntry(key, out))
+	}
+
+	tmp, err := l.fs.OpenFile(tmpName, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: create %s: %w", tmpName, err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		l.fs.Remove(tmpName)
+		return fmt.Errorf("store: compact: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		l.fs.Remove(tmpName)
+		return fmt.Errorf("store: compact: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact: close: %w", err)
+	}
+	if err := l.fs.Rename(tmpName, finalName); err != nil {
+		l.fs.Remove(tmpName)
+		return fmt.Errorf("store: compact: swap: %w", err)
+	}
+	l.fs.SyncDir(l.dir)
+
+	// The compacted segment is durable; retire the old ones. A failed
+	// delete only wastes space — replay is last-wins and idempotent.
+	oldActive, oldSeq := l.active, l.activeSeq
+	f, err := l.fs.OpenFile(finalName, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopen active: %w", err)
+	}
+	oldActive.Close()
+	for seq := 1; seq <= oldSeq; seq++ {
+		l.fs.Remove(path.Join(l.dir, segmentName(seq)))
+	}
+	l.active = f
+	l.activeSeq = newSeq
+	l.totalSize = int64(len(buf))
+	l.pending = 0
+	l.order = liveOrder
+	l.compactions++
+	return nil
+}
+
+// each visits the live entries in first-seen order.
+func (l *memoLog) each(fn func(key string, out []bool)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, key := range l.order {
+		if out, ok := l.live[key]; ok {
+			fn(key, out)
+		}
+	}
+}
+
+func (l *memoLog) entryCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}
+
+func (l *memoLog) size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalSize
+}
+
+// close syncs pending appends and releases the active handle.
+func (l *memoLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := func() error {
+		if l.pending == 0 {
+			return nil
+		}
+		if serr := l.active.Sync(); serr != nil {
+			return fmt.Errorf("store: fsync memo log on close: %w", serr)
+		}
+		l.pending = 0
+		l.syncs++
+		return nil
+	}()
+	if cerr := l.active.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
