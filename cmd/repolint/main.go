@@ -2,8 +2,9 @@
 // (scalareval, seededrand, orphanerr, errcompare, nodeadline), the
 // flow-sensitive contract checkers (randtaint, locksafe, panicbridge,
 // goleak), the interprocedural concurrency/allocation contracts
-// (atomicsafe, chanflow, ctxcancel, hotalloc), and the cross-package
-// map-order determinism contract (mapdet); see
+// (atomicsafe, chanflow, ctxcancel, hotalloc), the cross-package
+// map-order determinism contract (mapdet), and the SSA value-flow
+// checkers (shiftrange, nilflow, deadbranch); see
 // internal/analysis/analyzers — over Go packages. It speaks the vet
 // unit-checker protocol, so the same binary works standalone and as a
 // vettool:

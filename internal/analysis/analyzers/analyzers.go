@@ -39,6 +39,13 @@
 //	            returned slices, serialized output, or merge positions
 //	            without an intervening sort — the determinism contract
 //	            the parallel learning core is held to
+//	shiftrange  SSA value ranges: hot-path shift amounts are proven < the
+//	            word width and bit-kernel slice indexes proven in bounds;
+//	            unproven sites are the bounds-check-elimination work-list
+//	nilflow     SSA value flow: a call result must not be dereferenced on
+//	            a path its paired err != nil check proves may be nil
+//	deadbranch  SCCP: branch conditions proven always-true/false hide one
+//	            arm from every execution and every test
 //
 // The flow-sensitive rules run on internal/analysis/flow (CFGs, a forward
 // lattice solver, and bottom-up call-graph summaries); see DESIGN.md §10.
@@ -60,12 +67,15 @@ import (
 // goleak) are flow-sensitive rules built on internal/analysis/flow; the
 // third group (atomicsafe, chanflow, ctxcancel, hotalloc) are the
 // interprocedural concurrency and hot-path allocation contracts; mapdet
-// is the cross-package map-order determinism contract.
+// is the cross-package map-order determinism contract; the last group
+// (shiftrange, nilflow, deadbranch) are the SSA value-flow rules built on
+// internal/analysis/flow/ssa (dominators, SCCP, interval ranges).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ScalarEval, SeededRand, OrphanErr, ErrCompare, NoDeadline,
 		RandTaint, LockSafe, PanicBridge, GoLeak,
 		AtomicSafe, ChanFlow, CtxCancel, HotAlloc,
 		MapDet,
+		ShiftRange, NilFlow, DeadBranch,
 	}
 }

@@ -193,6 +193,49 @@ func TestMapDetFixture(t *testing.T) {
 	runFixture(t, MapDet, "logicregression/fixture/mapdet")
 }
 
+func TestShiftRangeFixture(t *testing.T) {
+	// The index rule is gated to the bit-kernel packages; the fixture
+	// type-checks under the bitvec import path to be inside the gate.
+	runFixture(t, ShiftRange, "logicregression/internal/bitvec")
+}
+
+func TestShiftRangeIndexRuleGated(t *testing.T) {
+	// Outside the bit-kernel packages only the shift rule applies, so the
+	// index findings in bad.go must disappear while the shift findings
+	// stay.
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("export index: %v", err)
+	}
+	fset := token.NewFileSet()
+	path := filepath.Join("testdata", "src", "shiftrange", "bad.go")
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.CheckFiles(fset, []*ast.File{f}, "example.com/elsewhere",
+		exports, nil, []*analysis.Analyzer{ShiftRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "in bounds") {
+			t.Errorf("index rule fired outside the bit-kernel packages: %s", d.Message)
+		}
+	}
+	if len(diags) == 0 {
+		t.Error("shift rule should still fire outside the bit-kernel packages")
+	}
+}
+
+func TestNilFlowFixture(t *testing.T) {
+	runFixture(t, NilFlow, "logicregression/fixture/nilflow")
+}
+
+func TestDeadBranchFixture(t *testing.T) {
+	runFixture(t, DeadBranch, "logicregression/fixture/deadbranch")
+}
+
 // TestRepoIsClean runs every analyzer over the whole module through the
 // parallel facts-aware driver: the rules the analyzers encode are supposed
 // to hold in production code right now, including the cross-package ones.

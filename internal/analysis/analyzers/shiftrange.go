@@ -1,0 +1,193 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"logicregression/internal/analysis"
+	"logicregression/internal/analysis/flow"
+	"logicregression/internal/analysis/flow/ssa"
+)
+
+// ShiftRange proves the word-level arithmetic on the hot paths safe, using
+// the SSA interval machinery (internal/analysis/flow/ssa):
+//
+//   - in every //logicreg:hotpath function, each variable shift amount
+//     (`x << k`, `x >> k`, `x <<= k`, and the `1 << k` mask idiom) must be
+//     provably in [0, bitwidth) — an unproven amount either wraps the mask
+//     to zero or is a latent guard the prover cannot see;
+//   - in the bit-kernel packages (internal/bitvec, internal/tt,
+//     internal/circuit), each slice/array/string index in a hotpath
+//     function must be provably in bounds.
+//
+// Findings double as the bounds-check-elimination work-list: an index the
+// prover cannot discharge is exactly one the compiler keeps a runtime
+// check for. Fix the guard so the proof goes through, or record the
+// reviewed exception with `//logicreg:allow shiftrange <reason>`.
+var ShiftRange = &analysis.Analyzer{
+	Name: "shiftrange",
+	Doc: "proves hot-path shift amounts < bit width and bit-kernel slice " +
+		"indexes in bounds via SSA value ranges; unproven sites are the " +
+		"BCE work-list",
+	Run: runShiftRange,
+}
+
+// indexCheckedPkgs are the import-path suffixes whose hotpath indexes are
+// held to the in-bounds proof (the packages the inner learning loops spend
+// their time in).
+var indexCheckedPkgs = []string{"internal/bitvec", "internal/tt", "internal/circuit"}
+
+func runShiftRange(pass *analysis.Pass) error {
+	sup := suppressedLines(pass, "shiftrange")
+	info := pass.TypesInfo
+	indexPkg := false
+	for _, suffix := range indexCheckedPkgs {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			indexPkg = true
+		}
+	}
+
+	// The header-safety summary is shared by every function in the pass but
+	// only needed when a hotpath function exists; build it on first use.
+	var headerSafe map[*types.Func]bool
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			if headerSafe == nil {
+				headerSafe = ssa.HeaderSafeFuncs(flow.BuildCallGraph(pass.Files, info), info)
+			}
+			f := ssa.Build(fd, info, &ssa.Options{HeaderSafe: headerSafe})
+			if f == nil {
+				continue
+			}
+			r := ssa.InferRanges(f)
+			checkShiftRangeFunc(pass, f, r, indexPkg, sup)
+		}
+	}
+	return nil
+}
+
+func checkShiftRangeFunc(pass *analysis.Pass, f *ssa.Func, r *ssa.Ranges,
+	indexPkg bool, sup map[string]bool) {
+
+	for _, b := range f.CFG.Blocks {
+		for _, node := range b.Nodes {
+			n := ast.Node(node)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				n = rs.X // header-only semantics: the body has its own blocks
+			}
+			blk := b
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false // a literal is its own function, not hot
+				case *ast.BinaryExpr:
+					if m.Op == token.SHL || m.Op == token.SHR {
+						checkShiftAmount(pass, r, blk, m.X, m.Y, m.OpPos, sup)
+					}
+				case *ast.AssignStmt:
+					if m.Tok == token.SHL_ASSIGN || m.Tok == token.SHR_ASSIGN {
+						checkShiftAmount(pass, r, blk, m.Lhs[0], m.Rhs[0], m.TokPos, sup)
+					}
+				case *ast.IndexExpr:
+					if indexPkg {
+						checkIndexBounds(pass, r, blk, m, sup)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkShiftAmount(pass *analysis.Pass, r *ssa.Ranges, blk *flow.Block,
+	operand, amount ast.Expr, pos token.Pos, sup map[string]bool) {
+
+	width := bitWidthOf(pass.TypesInfo.TypeOf(operand))
+	if width == 0 {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[amount]; ok && tv.Value != nil {
+		// A constant amount is checked directly; in-range constants are the
+		// common `x >> 6` case, out-of-range ones zero the operand.
+		if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && c >= 0 && c < int64(width) {
+			return
+		}
+	}
+	if r.ProveShift(amount, width, blk) {
+		return
+	}
+	if suppressed(pass, sup, pos) {
+		return
+	}
+	pass.Reportf(pos,
+		"shift amount not provably < %d on this hot path (interval %s); "+
+			"mask it (`& %d`) or add a guard the prover understands",
+		width, r.EvalAt(amount, blk), width-1)
+}
+
+func checkIndexBounds(pass *analysis.Pass, r *ssa.Ranges, blk *flow.Block,
+	x *ast.IndexExpr, sup map[string]bool) {
+
+	baseT := pass.TypesInfo.TypeOf(x.X)
+	if baseT == nil {
+		return
+	}
+	under := baseT.Underlying()
+	if p, ok := under.(*types.Pointer); ok {
+		under = p.Elem().Underlying()
+	}
+	switch u := under.(type) {
+	case *types.Array, *types.Slice:
+	case *types.Basic:
+		if u.Info()&types.IsString == 0 {
+			return
+		}
+	default:
+		return // maps have no bounds; generics and the rest are out of scope
+	}
+	if r.ProveInBounds(x, blk) {
+		return
+	}
+	if suppressed(pass, sup, x.Lbrack) {
+		return
+	}
+	pass.Reportf(x.Lbrack,
+		"index into %s not provably in bounds (interval %s) — the compiler "+
+			"keeps a bounds check here; strengthen the guard or annotate "+
+			"//logicreg:allow shiftrange <reason>",
+		renderExpr(pass.Fset, x.X), r.EvalAt(x.Index, blk))
+}
+
+// bitWidthOf returns the bit width of a (possibly named) integer type, or
+// 0 for anything else. int, uint, and uintptr are 64 bits: the repo
+// targets 64-bit word kernels (same assumption as the SSA constant
+// folder).
+func bitWidthOf(t types.Type) int {
+	if t == nil {
+		return 0
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch basic.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr:
+		return 64
+	case types.UntypedInt:
+		return 64
+	}
+	return 0
+}

@@ -53,3 +53,26 @@ func fanout(work func() int) {
 	}()
 	<-done
 }
+
+// Different flags guard the close and the send: no contradiction, the
+// pair may execute together.
+func uncorrelatedClose(a, b bool, ch chan int) {
+	if a {
+		close(ch)
+	}
+	if b {
+		ch <- 1 // want "may already be closed"
+	}
+}
+
+// The same flag, but reassigned between the check sites: the SSA values
+// differ, so the facts do not correlate and the send stays flagged.
+func reassignedFlag(stop bool, ch chan int) {
+	if stop {
+		close(ch)
+	}
+	stop = !stop
+	if !stop {
+		ch <- 1 // want "may already be closed"
+	}
+}

@@ -1,0 +1,48 @@
+// The deadbranch fixture: conditions SCCP proves constant, hiding one arm
+// from every run.
+package deadbranch
+
+// Leftover debug scaffolding: the flag is assigned false and never again.
+func leftoverDebug(n int) int {
+	verbose := false
+	if verbose { // want "always false"
+		return -n
+	}
+	return n
+}
+
+// The refactoring residue: mode can only be 3 here.
+func alwaysTrueGuard() int {
+	mode := 3
+	if mode > 1 { // want "always true"
+		return 1
+	}
+	return 0
+}
+
+// One root cause, one finding: conditions inside the arm SCCP already
+// proved unreachable are not re-reported.
+func cascade() int {
+	debug := false
+	if debug { // want "always false"
+		x := 1
+		if x == 1 {
+			return 2
+		}
+	}
+	return 0
+}
+
+// Constants propagate through joins when both arms agree.
+func throughJoin(flag bool) int {
+	limit := 0
+	if flag {
+		limit = 8
+	} else {
+		limit = 8
+	}
+	if limit == 8 { // want "always true"
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+// The repaired deadbranch fixture: branch verdicts that are deliberate or
+// genuinely data-dependent stay silent.
+package deadbranch
+
+// Compile-time configuration: the type checker folds the condition, so it
+// is a const gate, not dead logic.
+const debugBuild = false
+
+func compileTimeConfig(n int) int {
+	if debugBuild {
+		return -n
+	}
+	return n
+}
+
+// Data-dependent conditions have no verdict.
+func dataDependent(n int) int {
+	verbose := n > 10
+	if verbose {
+		return -n
+	}
+	return n
+}
+
+// A loop-carried accumulator never folds.
+func loopCarried(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	if s > 100 {
+		return 1
+	}
+	return 0
+}

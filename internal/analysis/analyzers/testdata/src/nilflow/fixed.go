@@ -1,0 +1,33 @@
+// The repaired nilflow fixture: error paths never dereference the value,
+// and a reassignment starts a fresh value the old check does not taint.
+package nilflow
+
+// The error branch reports and leaves; only the success path uses c.
+func guarded() int {
+	c, err := dial()
+	if err != nil {
+		return -1
+	}
+	return c.id
+}
+
+// SSA precision: after the reassignment this is a different value, so
+// the err != nil fact about the call result no longer applies.
+func reassigned() int {
+	c, err := dial()
+	if err != nil {
+		c = &conn{id: 0}
+		return c.id
+	}
+	return c.id
+}
+
+// A use outside the error-dominated region is not flagged: nothing here
+// proves err is non-nil.
+func uncheckedUse() int {
+	c, _ := dial()
+	if c == nil {
+		return -1
+	}
+	return c.id
+}

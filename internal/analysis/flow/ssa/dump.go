@@ -1,0 +1,63 @@
+package ssa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpPhis renders phi placement as stable text for golden tests: one
+// line per block that has phis, listing each phi variable and the
+// predecessor blocks feeding it.
+func (f *Func) DumpPhis() string {
+	type line struct {
+		idx  int
+		text string
+	}
+	var lines []line
+	for b, phis := range f.Phis {
+		var parts []string
+		for _, phi := range phis {
+			var preds []string
+			for _, e := range phi.Edges {
+				tag := "?"
+				if e.Val != nil {
+					tag = kindTag(e.Val.Kind)
+				}
+				preds = append(preds, fmt.Sprintf("b%d:%s", e.Pred.Index, tag))
+			}
+			parts = append(parts, fmt.Sprintf("%s(%s)", phi.Value.Var.Name(), strings.Join(preds, " ")))
+		}
+		lines = append(lines, line{b.Index, fmt.Sprintf("b%d %s: %s", b.Index, b.Kind, strings.Join(parts, ", "))})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].idx < lines[j].idx })
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(l.text)
+		sb.WriteString("\n")
+	}
+	if sb.Len() == 0 {
+		return "(no phis)\n"
+	}
+	return sb.String()
+}
+
+func kindTag(k ValueKind) string {
+	switch k {
+	case KindParam:
+		return "param"
+	case KindZero:
+		return "zero"
+	case KindExpr:
+		return "expr"
+	case KindCompound:
+		return "compound"
+	case KindCall:
+		return "call"
+	case KindRangeIndex:
+		return "rangeidx"
+	case KindPhi:
+		return "phi"
+	}
+	return "opaque"
+}

@@ -1,0 +1,592 @@
+package ssa
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"math"
+	"math/bits"
+)
+
+// An Interval is a conservative [Lo, Hi] over-approximation of an
+// integer-valued expression, with either end optionally unbounded. The
+// empty interval is the bottom element (no possible value — only arises
+// on dynamically impossible paths).
+type Interval struct {
+	lo, hi         int64
+	loUnb, hiUnb   bool
+	isEmpty, isTop bool
+}
+
+// FullInterval is the unbounded interval (every int64).
+func FullInterval() Interval { return Interval{loUnb: true, hiUnb: true, isTop: true} }
+
+// EmptyInterval is the bottom element.
+func EmptyInterval() Interval { return Interval{isEmpty: true} }
+
+// PointInterval is the singleton [v, v].
+func PointInterval(v int64) Interval { return Interval{lo: v, hi: v} }
+
+// RangeInterval is [lo, hi]; an inverted pair yields the empty interval.
+func RangeInterval(lo, hi int64) Interval {
+	if lo > hi {
+		return EmptyInterval()
+	}
+	return Interval{lo: lo, hi: hi}
+}
+
+// AtLeast is [lo, +inf).
+func AtLeast(lo int64) Interval { return Interval{lo: lo, hiUnb: true} }
+
+// AtMost is (-inf, hi].
+func AtMost(hi int64) Interval { return Interval{hi: hi, loUnb: true} }
+
+// Lo returns the lower bound; ok is false when unbounded (or empty).
+func (iv Interval) Lo() (int64, bool) { return iv.lo, !iv.loUnb && !iv.isEmpty }
+
+// Hi returns the upper bound; ok is false when unbounded (or empty).
+func (iv Interval) Hi() (int64, bool) { return iv.hi, !iv.hiUnb && !iv.isEmpty }
+
+// Empty reports the bottom element.
+func (iv Interval) Empty() bool { return iv.isEmpty }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool {
+	if iv.isEmpty {
+		return false
+	}
+	if !iv.loUnb && v < iv.lo {
+		return false
+	}
+	if !iv.hiUnb && v > iv.hi {
+		return false
+	}
+	return true
+}
+
+func (iv Interval) String() string {
+	if iv.isEmpty {
+		return "[]"
+	}
+	lo, hi := "-inf", "+inf"
+	lb, rb := "(", ")"
+	if !iv.loUnb {
+		lo, lb = fmt.Sprintf("%d", iv.lo), "["
+	}
+	if !iv.hiUnb {
+		hi, rb = fmt.Sprintf("%d", iv.hi), "]"
+	}
+	return fmt.Sprintf("%s%s,%s%s", lb, lo, hi, rb)
+}
+
+// Join is the interval union (lattice join).
+func (iv Interval) Join(o Interval) Interval {
+	if iv.isEmpty {
+		return o
+	}
+	if o.isEmpty {
+		return iv
+	}
+	out := Interval{}
+	if iv.loUnb || o.loUnb {
+		out.loUnb = true
+	} else {
+		out.lo = min64(iv.lo, o.lo)
+	}
+	if iv.hiUnb || o.hiUnb {
+		out.hiUnb = true
+	} else {
+		out.hi = max64(iv.hi, o.hi)
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// Meet is the interval intersection.
+func (iv Interval) Meet(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	out := Interval{}
+	switch {
+	case iv.loUnb && o.loUnb:
+		out.loUnb = true
+	case iv.loUnb:
+		out.lo = o.lo
+	case o.loUnb:
+		out.lo = iv.lo
+	default:
+		out.lo = max64(iv.lo, o.lo)
+	}
+	switch {
+	case iv.hiUnb && o.hiUnb:
+		out.hiUnb = true
+	case iv.hiUnb:
+		out.hi = o.hi
+	case o.hiUnb:
+		out.hi = iv.hi
+	default:
+		out.hi = min64(iv.hi, o.hi)
+	}
+	if !out.loUnb && !out.hiUnb && out.lo > out.hi {
+		return EmptyInterval()
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// eqIv reports exact equality of two intervals.
+func (iv Interval) eqIv(o Interval) bool {
+	if iv.isEmpty != o.isEmpty {
+		return false
+	}
+	if iv.isEmpty {
+		return true
+	}
+	if iv.loUnb != o.loUnb || iv.hiUnb != o.hiUnb {
+		return false
+	}
+	if !iv.loUnb && iv.lo != o.lo {
+		return false
+	}
+	if !iv.hiUnb && iv.hi != o.hi {
+		return false
+	}
+	return true
+}
+
+// WidenAgainst widens iv relative to old: any bound that moved since old
+// goes unbounded. Guarantees termination of the range fixpoint.
+func (iv Interval) WidenAgainst(old Interval) Interval {
+	if old.isEmpty || iv.isEmpty {
+		return iv
+	}
+	out := iv
+	if !old.loUnb && (iv.loUnb || iv.lo < old.lo) {
+		out.lo, out.loUnb = 0, true
+	}
+	if !old.hiUnb && (iv.hiUnb || iv.hi > old.hi) {
+		out.hi, out.hiUnb = 0, true
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// ---- arithmetic (all saturating: overflow makes the bound unbounded) ----
+
+func addSat(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subSat(a, b int64) (int64, bool) {
+	if b == math.MinInt64 {
+		return 0, false
+	}
+	return addSat(a, -b)
+}
+
+func mulSat(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// Add returns the interval of x+y for x in iv, y in o.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	out := Interval{}
+	if iv.loUnb || o.loUnb {
+		out.loUnb = true
+	} else if lo, ok := addSat(iv.lo, o.lo); ok {
+		out.lo = lo
+	} else {
+		out.loUnb = true
+	}
+	if iv.hiUnb || o.hiUnb {
+		out.hiUnb = true
+	} else if hi, ok := addSat(iv.hi, o.hi); ok {
+		out.hi = hi
+	} else {
+		out.hiUnb = true
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// Sub returns the interval of x-y.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	out := Interval{}
+	if iv.loUnb || o.hiUnb {
+		out.loUnb = true
+	} else if lo, ok := subSat(iv.lo, o.hi); ok {
+		out.lo = lo
+	} else {
+		out.loUnb = true
+	}
+	if iv.hiUnb || o.loUnb {
+		out.hiUnb = true
+	} else if hi, ok := subSat(iv.hi, o.lo); ok {
+		out.hi = hi
+	} else {
+		out.hiUnb = true
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// Mul returns the interval of x*y. Any unbounded operand makes the result
+// unbounded (sign reasoning is not worth the risk here).
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	if iv.loUnb || iv.hiUnb || o.loUnb || o.hiUnb {
+		return FullInterval()
+	}
+	candidates := [4][2]int64{{iv.lo, o.lo}, {iv.lo, o.hi}, {iv.hi, o.lo}, {iv.hi, o.hi}}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, c := range candidates {
+		p, ok := mulSat(c[0], c[1])
+		if !ok {
+			return FullInterval()
+		}
+		lo, hi = min64(lo, p), max64(hi, p)
+	}
+	return RangeInterval(lo, hi)
+}
+
+// And returns the interval of x&y. When either operand is known to lie in
+// [0, m], the result lies in [0, m] — the usual mask argument.
+func (iv Interval) And(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	out := FullInterval()
+	if !iv.hiUnb && !iv.loUnb && iv.lo >= 0 {
+		out = out.Meet(RangeInterval(0, iv.hi))
+	}
+	if !o.hiUnb && !o.loUnb && o.lo >= 0 {
+		out = out.Meet(RangeInterval(0, o.hi))
+	}
+	// A non-negative operand forces a non-negative result.
+	if (!iv.loUnb && iv.lo >= 0) || (!o.loUnb && o.lo >= 0) {
+		out = out.Meet(AtLeast(0))
+	}
+	return out
+}
+
+// Or returns the interval of x|y: within [0, 2^k-1] when both operands
+// are, for the smallest covering power of two.
+func (iv Interval) Or(o Interval) Interval {
+	return iv.bitUnionBound(o)
+}
+
+// Xor returns the interval of x^y, same bound as Or.
+func (iv Interval) Xor(o Interval) Interval {
+	return iv.bitUnionBound(o)
+}
+
+func (iv Interval) bitUnionBound(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	if iv.loUnb || iv.hiUnb || o.loUnb || o.hiUnb || iv.lo < 0 || o.lo < 0 {
+		return FullInterval()
+	}
+	n := bits.Len64(uint64(iv.hi) | uint64(o.hi))
+	if n >= 63 {
+		return AtLeast(0)
+	}
+	return RangeInterval(0, (1<<uint(n))-1)
+}
+
+// AndNot returns the interval of x&^y: a sub-mask of x when x >= 0.
+func (iv Interval) AndNot(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	if !iv.loUnb && iv.lo >= 0 {
+		if !iv.hiUnb {
+			return RangeInterval(0, iv.hi)
+		}
+		return AtLeast(0)
+	}
+	return FullInterval()
+}
+
+// Shl returns the interval of x<<y. Overflow of the upper bound makes the
+// whole result unbounded in both directions: a left shift wraps through
+// the sign bit, so a saturated upper bound alone would be unsound.
+func (iv Interval) Shl(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	if iv.loUnb || iv.hiUnb || o.loUnb || o.hiUnb || o.lo < 0 || iv.lo < 0 {
+		return FullInterval()
+	}
+	if o.hi > 62 {
+		return FullInterval()
+	}
+	hi, ok := mulSat(iv.hi, 1<<uint(o.hi))
+	if !ok {
+		return FullInterval()
+	}
+	lo, ok := mulSat(iv.lo, 1<<uint(o.lo))
+	if !ok {
+		return FullInterval()
+	}
+	return RangeInterval(lo, hi)
+}
+
+// Shr returns the interval of x>>y for non-negative x.
+func (iv Interval) Shr(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	if iv.loUnb || o.loUnb || o.lo < 0 || (!iv.loUnb && iv.lo < 0) {
+		return FullInterval()
+	}
+	// x >= 0: result in [x.lo >> y.hi, x.hi >> y.lo]; with y unbounded
+	// above the low end is 0.
+	out := Interval{}
+	if o.hiUnb || o.hi > 63 {
+		out.lo = 0
+	} else {
+		out.lo = iv.lo >> uint(o.hi)
+	}
+	if iv.hiUnb {
+		out.hiUnb = true
+	} else if o.lo > 63 {
+		out.hi = 0
+	} else {
+		out.hi = iv.hi >> uint(o.lo)
+	}
+	return out
+}
+
+// Quo returns the interval of x/y for strictly positive y.
+func (iv Interval) Quo(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	if o.loUnb || o.lo < 1 {
+		return FullInterval()
+	}
+	out := Interval{}
+	if iv.loUnb {
+		out.loUnb = true
+	} else if iv.lo >= 0 {
+		if o.hiUnb {
+			out.lo = 0
+		} else {
+			out.lo = iv.lo / o.hi
+		}
+	} else {
+		out.lo = iv.lo / o.lo // most negative at smallest divisor
+	}
+	if iv.hiUnb {
+		out.hiUnb = true
+	} else if iv.hi >= 0 {
+		out.hi = iv.hi / o.lo
+	} else if o.hiUnb {
+		out.hi = 0
+	} else {
+		out.hi = iv.hi / o.hi
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// Rem returns the interval of x%y for y with a known magnitude bound.
+// Go's % takes the dividend's sign, so for x >= 0 the result is
+// [0, |y|max-1].
+func (iv Interval) Rem(o Interval) Interval {
+	if iv.isEmpty || o.isEmpty {
+		return EmptyInterval()
+	}
+	var mag int64
+	switch {
+	case !o.hiUnb && !o.loUnb:
+		mag = max64(abs64(o.lo), abs64(o.hi))
+	default:
+		mag = 0
+	}
+	if mag == 0 {
+		// Unknown divisor magnitude: only the sign survives.
+		if !iv.loUnb && iv.lo >= 0 {
+			return AtLeast(0)
+		}
+		return FullInterval()
+	}
+	if !iv.loUnb && iv.lo >= 0 {
+		hi := mag - 1
+		if !iv.hiUnb && iv.hi < hi {
+			hi = iv.hi
+		}
+		return RangeInterval(0, hi)
+	}
+	return RangeInterval(-(mag - 1), mag-1)
+}
+
+// Neg returns the interval of -x.
+func (iv Interval) Neg() Interval {
+	if iv.isEmpty {
+		return EmptyInterval()
+	}
+	out := Interval{}
+	if iv.hiUnb {
+		out.loUnb = true
+	} else if lo, ok := subSat(0, iv.hi); ok {
+		out.lo = lo
+	} else {
+		out.loUnb = true
+	}
+	if iv.loUnb {
+		out.hiUnb = true
+	} else if hi, ok := subSat(0, iv.lo); ok {
+		out.hi = hi
+	} else {
+		out.hiUnb = true
+	}
+	out.isTop = out.loUnb && out.hiUnb
+	return out
+}
+
+// TypeInterval is the representable range of an integer type (64-bit
+// target assumption for int/uint/uintptr). Non-integer types get the
+// full interval.
+func TypeInterval(t types.Type) Interval {
+	if t == nil {
+		return FullInterval()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return FullInterval()
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return RangeInterval(math.MinInt8, math.MaxInt8)
+	case types.Int16:
+		return RangeInterval(math.MinInt16, math.MaxInt16)
+	case types.Int32:
+		return RangeInterval(math.MinInt32, math.MaxInt32)
+	case types.Uint8:
+		return RangeInterval(0, math.MaxUint8)
+	case types.Uint16:
+		return RangeInterval(0, math.MaxUint16)
+	case types.Uint32:
+		return RangeInterval(0, math.MaxUint32)
+	case types.Uint, types.Uint64, types.Uintptr:
+		// Values above MaxInt64 are not representable in the int64
+		// bounds; [0, +inf) is the sound projection.
+		return AtLeast(0)
+	default:
+		return FullInterval()
+	}
+}
+
+// refineByOp narrows the interval of the variable side of `x REL y`
+// given y's interval and whether the comparison held.
+func refineByOp(op token.Token, truth bool, rhs Interval) Interval {
+	if !truth {
+		op = negateRel(op)
+	}
+	switch op {
+	case token.LSS: // x < rhs  =>  x <= rhs.hi - 1
+		if hi, ok := rhs.Hi(); ok {
+			if v, okk := subSat(hi, 1); okk {
+				return AtMost(v)
+			}
+		}
+	case token.LEQ:
+		if hi, ok := rhs.Hi(); ok {
+			return AtMost(hi)
+		}
+	case token.GTR:
+		if lo, ok := rhs.Lo(); ok {
+			if v, okk := addSat(lo, 1); okk {
+				return AtLeast(v)
+			}
+		}
+	case token.GEQ:
+		if lo, ok := rhs.Lo(); ok {
+			return AtLeast(lo)
+		}
+	case token.EQL:
+		return rhs
+	case token.NEQ:
+		// Only useful against a point at an end; skip.
+	}
+	return FullInterval()
+}
+
+func negateRel(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+// flipRel mirrors a relation across its operands: x < y  <=>  y > x.
+func flipRel(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL, NEQ are symmetric
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs64(a int64) int64 {
+	if a == math.MinInt64 {
+		return math.MaxInt64
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

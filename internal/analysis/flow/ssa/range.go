@@ -1,0 +1,717 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"logicregression/internal/analysis/flow"
+)
+
+// Ranges is the result of the interval analysis over one Func: a global
+// (flow-insensitive over SSA values, which is flow-sensitivity enough
+// once variables are in SSA form) interval per value, refined at query
+// time by the dominating branch facts of the query block.
+type Ranges struct {
+	f     *Func
+	cells map[*Value]Interval
+	sccp  *SCCP
+}
+
+const (
+	widenAfter   = 8
+	maxEvalDepth = 6
+)
+
+// InferRanges runs the interval fixpoint over f's value graph. Widening
+// (after widenAfter updates per cell) guarantees termination; the result
+// is a sound over-approximation of every value the variable can hold at
+// its definition.
+func InferRanges(f *Func) *Ranges {
+	r := &Ranges{
+		f:     f,
+		cells: make(map[*Value]Interval),
+		sccp:  RunSCCP(f),
+	}
+	// Seed every value from its kind and type.
+	for _, v := range f.Values {
+		r.cells[v] = r.initial(v)
+	}
+	// Chaotic iteration over the def-use graph.
+	usedBy := make(map[*Value][]*Value)
+	record := func(target *Value, e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if src := f.UseVal[id]; src != nil {
+					usedBy[src] = append(usedBy[src], target)
+				}
+			}
+			return true
+		})
+	}
+	for _, v := range f.Values {
+		switch v.Kind {
+		case KindExpr, KindCompound:
+			record(v, v.Rhs)
+			if v.Prev != nil {
+				usedBy[v.Prev] = append(usedBy[v.Prev], v)
+			}
+		case KindPhi:
+			for _, e := range v.Phi.Edges {
+				if e.Val != nil {
+					usedBy[e.Val] = append(usedBy[e.Val], v)
+				}
+			}
+		}
+	}
+	work := make([]*Value, len(f.Values))
+	copy(work, f.Values)
+	updates := make(map[*Value]int)
+	steps := 0
+	maxSteps := (len(f.Values) + 1) * 64
+	for len(work) > 0 {
+		steps++
+		if steps > maxSteps {
+			// Safety valve: give up on precision, stay sound.
+			for _, v := range f.Values {
+				r.cells[v] = r.initial(v).Join(TypeInterval(v.Var.Type()))
+			}
+			break
+		}
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		next := r.transfer(v)
+		old := r.cells[v]
+		// Only ever grow (join) — the fixpoint is ascending.
+		next = next.Join(old)
+		if next.eqIv(old) {
+			continue
+		}
+		updates[v]++
+		if updates[v] > widenAfter {
+			next = next.WidenAgainst(old)
+		}
+		// Clamp to the variable's representable range: sound because the
+		// runtime value always is.
+		next = next.Meet(TypeInterval(v.Var.Type()))
+		if next.eqIv(old) {
+			continue
+		}
+		r.cells[v] = next
+		work = append(work, usedBy[v]...)
+	}
+	return r
+}
+
+// SCCP exposes the constant-propagation result computed alongside.
+func (r *Ranges) SCCP() *SCCP { return r.sccp }
+
+// initial is the starting interval of a value before any propagation.
+func (r *Ranges) initial(v *Value) Interval {
+	switch v.Kind {
+	case KindZero:
+		if isIntType(v.Var.Type()) {
+			return PointInterval(0)
+		}
+		return FullInterval()
+	case KindRangeIndex:
+		// While the body runs the key is in [0, len); at the loop's done
+		// block it may still hold the pre-loop value, which the phi
+		// machinery models separately. [0, +inf) is the sound global
+		// cell; the < len(X) part is applied symbolically in
+		// ProveInBounds for blocks dominated by the body.
+		return AtLeast(0).Meet(TypeInterval(v.Var.Type()))
+	case KindExpr, KindCompound, KindPhi:
+		// Start at bottom so the fixpoint can find the least solution.
+		return EmptyInterval()
+	default:
+		return TypeInterval(v.Var.Type())
+	}
+}
+
+// transfer evaluates a value's defining expression over current cells.
+func (r *Ranges) transfer(v *Value) Interval {
+	switch v.Kind {
+	case KindExpr:
+		return r.evalRaw(v.Rhs, 0)
+	case KindCompound:
+		prev := FullInterval()
+		if v.Prev != nil {
+			prev = r.cells[v.Prev]
+		}
+		rhs := PointInterval(1)
+		if v.Rhs != nil {
+			rhs = r.evalRaw(v.Rhs, 0)
+		}
+		return r.applyOp(v.Op, prev, rhs, v.Var.Type())
+	case KindPhi:
+		out := EmptyInterval()
+		for _, e := range v.Phi.Edges {
+			if e.Val == nil {
+				continue
+			}
+			if si := succPos(e.Pred, v.Block); si >= 0 {
+				if !r.sccp.edgeExec[[2]int{e.Pred.Index, si}] {
+					continue // pruned by SCCP: the edge cannot execute
+				}
+			}
+			out = out.Join(r.cells[e.Val])
+		}
+		return out
+	default:
+		return r.initial(v)
+	}
+}
+
+func (r *Ranges) applyOp(op token.Token, x, y Interval, t types.Type) Interval {
+	var out Interval
+	switch op {
+	case token.ADD:
+		out = x.Add(y)
+	case token.SUB:
+		out = x.Sub(y)
+	case token.MUL:
+		out = x.Mul(y)
+	case token.QUO:
+		out = x.Quo(y)
+	case token.REM:
+		out = x.Rem(y)
+	case token.AND:
+		out = x.And(y)
+	case token.OR:
+		out = x.Or(y)
+	case token.XOR:
+		out = x.Xor(y)
+	case token.AND_NOT:
+		out = x.AndNot(y)
+	case token.SHL:
+		out = x.Shl(y)
+	case token.SHR:
+		out = x.Shr(y)
+	default:
+		out = FullInterval()
+	}
+	return out.Meet(TypeInterval(t))
+}
+
+// evalRaw evaluates an expression over the global cells, with no branch
+// refinement (used inside the fixpoint).
+func (r *Ranges) evalRaw(e ast.Expr, depth int) Interval {
+	return r.eval(e, nil, depth)
+}
+
+// EvalAt evaluates an expression at a specific block, intersecting each
+// identifier's global interval with the dominating branch facts of that
+// block, and re-deriving non-leaf definitions under those facts (sound:
+// SSA values are immutable, so a definition's RHS denotes the same value
+// wherever it is re-evaluated).
+func (r *Ranges) EvalAt(e ast.Expr, b *flow.Block) Interval {
+	return r.eval(e, b, 0)
+}
+
+func (r *Ranges) eval(e ast.Expr, at *flow.Block, depth int) Interval {
+	if e == nil || depth > maxEvalDepth {
+		return FullInterval()
+	}
+	if tv, ok := r.f.Info.Types[e]; ok && tv.Value != nil {
+		if i, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return PointInterval(i)
+		}
+		return TypeInterval(tv.Type)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return r.eval(e.X, at, depth)
+	case *ast.Ident:
+		v := r.f.UseVal[e]
+		if v == nil {
+			// Untracked: only its type bounds it.
+			return TypeInterval(r.f.Info.TypeOf(e))
+		}
+		return r.valueAt(v, e, at, depth)
+	case *ast.SelectorExpr:
+		iv := TypeInterval(r.f.Info.TypeOf(e))
+		if at != nil {
+			iv = iv.Meet(r.factBound(e, at, depth))
+		}
+		return iv
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return r.eval(e.X, at, depth).Neg().Meet(TypeInterval(r.f.Info.TypeOf(e)))
+		case token.ADD:
+			return r.eval(e.X, at, depth)
+		}
+		return TypeInterval(r.f.Info.TypeOf(e))
+	case *ast.BinaryExpr:
+		x := r.eval(e.X, at, depth+1)
+		y := r.eval(e.Y, at, depth+1)
+		return r.applyOp(e.Op, x, y, r.f.Info.TypeOf(e))
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 1 {
+			if _, isB := r.f.Info.Uses[id].(*types.Builtin); isB && (id.Name == "len" || id.Name == "cap") {
+				if n, ok := arrayLen(r.f.Info.TypeOf(e.Args[0])); ok {
+					return PointInterval(n)
+				}
+				iv := AtLeast(0)
+				if at != nil {
+					iv = iv.Meet(r.factBound(e, at, depth))
+				}
+				return iv
+			}
+		}
+		// Conversion T(x): the interval carries over only when it fits
+		// the target type; in particular int->uint of a possibly
+		// negative value must NOT keep a small-looking range.
+		if tv, ok := r.f.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			target := r.f.Info.TypeOf(e)
+			if !isIntType(target) {
+				return FullInterval()
+			}
+			src := r.eval(e.Args[0], at, depth)
+			tgt := TypeInterval(target)
+			srcLo, loOK := src.Lo()
+			srcHi, hiOK := src.Hi()
+			tgtLo, _ := tgt.Lo()
+			fitsLo := loOK && (srcLo >= tgtLo)
+			fitsHi := true
+			if tgtHi, ok := tgt.Hi(); ok {
+				fitsHi = hiOK && srcHi <= tgtHi
+			}
+			if fitsLo && fitsHi {
+				return src
+			}
+			return tgt
+		}
+		return TypeInterval(r.f.Info.TypeOf(e))
+	case *ast.IndexExpr:
+		return TypeInterval(r.f.Info.TypeOf(e))
+	}
+	return TypeInterval(r.f.Info.TypeOf(e))
+}
+
+// valueAt refines a value's global cell at a block: constant from SCCP,
+// branch facts mentioning the value, and a depth-limited re-derivation
+// of its definition under those facts.
+func (r *Ranges) valueAt(v *Value, use *ast.Ident, at *flow.Block, depth int) Interval {
+	out, ok := r.cells[v]
+	if !ok {
+		out = TypeInterval(v.Var.Type())
+	}
+	if c, isC := r.sccp.ConstOf(v); isC {
+		if i, exact := constant.Int64Val(constant.ToInt(c)); exact {
+			out = out.Meet(PointInterval(i))
+		}
+	}
+	if at == nil || depth > maxEvalDepth {
+		return out
+	}
+	out = out.Meet(r.factBound(use, at, depth))
+	// Re-derive the definition at the query block: x := i >> 6 benefits
+	// from facts about i that hold here.
+	switch v.Kind {
+	case KindExpr:
+		out = out.Meet(r.eval(v.Rhs, at, depth+1))
+	case KindCompound:
+		if v.Prev != nil && v.Rhs != nil {
+			// Careful: facts at the use block constrain the *new* value,
+			// not Prev; re-deriving through Prev under `at` facts would
+			// be wrong when the fact mentions the variable itself. Use
+			// raw cells for Prev.
+			prev := r.cells[v.Prev]
+			rhs := r.evalRaw(v.Rhs, depth+1)
+			out = out.Meet(r.applyOp(v.Op, prev, rhs, v.Var.Type()))
+		}
+	}
+	return out
+}
+
+// factBound intersects every dominating branch fact that constrains the
+// given term (an identifier use, a selector chain, or a len(chain) call)
+// at block `at`.
+func (r *Ranges) factBound(term ast.Expr, at *flow.Block, depth int) Interval {
+	out := FullInterval()
+	if depth > maxEvalDepth {
+		return out
+	}
+	for _, fact := range r.f.FactsAt(at) {
+		be, ok := ast.Unparen(fact.Cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			continue
+		}
+		if r.termMatches(term, be.X) {
+			rhs := r.eval(be.Y, at, depth+1)
+			out = out.Meet(refineByOp(be.Op, fact.Truth, rhs))
+		} else if r.termMatches(term, be.Y) {
+			lhs := r.eval(be.X, at, depth+1)
+			out = out.Meet(refineByOp(flipRel(be.Op), fact.Truth, lhs))
+		}
+	}
+	return out
+}
+
+// termMatches decides whether a branch-condition operand denotes the
+// same runtime value as the queried term:
+//   - tracked identifiers match by SSA value (reassignment-proof);
+//   - selector chains match by rendering, provided the chain is stable
+//     (no header can move) within the function;
+//   - len(term)/cap(term) match recursively.
+func (r *Ranges) termMatches(term, operand ast.Expr) bool {
+	term, operand = ast.Unparen(term), ast.Unparen(operand)
+	switch t := term.(type) {
+	case *ast.Ident:
+		o, ok := operand.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		tv, ov := r.f.UseVal[t], r.f.UseVal[o]
+		return tv != nil && ov != nil && r.f.Canonical(tv) == r.f.Canonical(ov)
+	case *ast.SelectorExpr:
+		o, ok := operand.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		troot, trender, tok := r.f.renderChain(t)
+		oroot, orender, ook := r.f.renderChain(o)
+		if !tok || !ook || trender != orender {
+			return false
+		}
+		tv, ov := r.f.UseVal[troot], r.f.UseVal[oroot]
+		if tv == nil || ov == nil || r.f.Canonical(tv) != r.f.Canonical(ov) {
+			return false
+		}
+		return r.f.ChainStable(troot, trender)
+	case *ast.CallExpr:
+		o, ok := operand.(*ast.CallExpr)
+		if !ok || len(t.Args) != 1 || len(o.Args) != 1 {
+			return false
+		}
+		tn, tok := ast.Unparen(t.Fun).(*ast.Ident)
+		on, ook := ast.Unparen(o.Fun).(*ast.Ident)
+		if !tok || !ook || tn.Name != on.Name || (tn.Name != "len" && tn.Name != "cap") {
+			return false
+		}
+		if _, isB := r.f.Info.Uses[tn].(*types.Builtin); !isB {
+			return false
+		}
+		return r.termMatches(t.Args[0], o.Args[0])
+	}
+	return false
+}
+
+// ---- proofs ----
+
+// ProveShift reports whether the shift amount is provably in [0, width)
+// at the given block. width is the bit size of the shifted operand.
+func (r *Ranges) ProveShift(amount ast.Expr, width int, b *flow.Block) bool {
+	if b == nil {
+		return false
+	}
+	iv := r.EvalAt(amount, b)
+	lo, loOK := iv.Lo()
+	hi, hiOK := iv.Hi()
+	return loOK && hiOK && lo >= 0 && hi < int64(width)
+}
+
+// ProveInBounds reports whether an index expression is provably within
+// the bounds of its base at the given block. Accepted proofs:
+//
+//  1. the base is an array (or pointer to array): the index interval
+//     fits [0, len);
+//  2. the index is the key of a range over the same base (matched by SSA
+//     value or stable chain) and the block is dominated by the range
+//     body — so an iteration is in flight and the key is < len;
+//  3. a dominating branch fact bounds the index by len(base)+c, c <= 0
+//     for `<` (c <= -1 for `<=`), with a non-negative lower bound;
+//  4. the index has the literal form len(base)-c with constant c >= 1
+//     and the interval machinery proves it non-negative (typically from
+//     a `len(base) > 0` guard);
+//  5. the index is the key of a range over a different container E, the
+//     block is dominated by the range body, and a dominating fact proves
+//     len(base) >= len(E) — the kernel-prologue guard idiom.
+func (r *Ranges) ProveInBounds(x *ast.IndexExpr, b *flow.Block) bool {
+	if b == nil {
+		return false
+	}
+	baseT := r.f.Info.TypeOf(x.X)
+	if baseT == nil {
+		return false
+	}
+	under := baseT.Underlying()
+	if p, ok := under.(*types.Pointer); ok {
+		under = p.Elem().Underlying()
+	}
+	switch under.(type) {
+	case *types.Map:
+		return true // map indexing has no bounds
+	case *types.Array, *types.Slice:
+	case *types.Basic:
+		if under.(*types.Basic).Info()&types.IsString == 0 {
+			return false
+		}
+	default:
+		return false
+	}
+
+	iv := r.EvalAt(x.Index, b)
+	lo, loOK := iv.Lo()
+	if !loOK || lo < 0 {
+		// One more chance: a range-body index is non-negative even when
+		// the global cell was polluted by a join.
+		return r.rangeIndexProof(x, b) || r.rangeLenFactProof(x, b)
+	}
+
+	// 1. Arrays: compare against the constant length.
+	if n, ok := arrayLen(baseT); ok {
+		hi, hiOK := iv.Hi()
+		return hiOK && hi < n
+	}
+
+	// 2. Range-over-base proof.
+	if r.rangeIndexProof(x, b) {
+		return true
+	}
+
+	// 5. Range key over another container, bounded by a len fact.
+	if r.rangeLenFactProof(x, b) {
+		return true
+	}
+
+	// 3. Dominating fact idx REL len(base)+c.
+	if r.factUpperBoundProof(x.Index, x.X, b) {
+		return true
+	}
+
+	// 4. idx ≡ len(base) - c.
+	if r.lenMinusConstProof(x.Index, x.X, b) {
+		return true
+	}
+	return false
+}
+
+// rangeIndexProof: the index is a range key over the same base, queried
+// from a block the range body dominates.
+func (r *Ranges) rangeIndexProof(x *ast.IndexExpr, b *flow.Block) bool {
+	id, ok := ast.Unparen(x.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := r.f.UseVal[id]
+	if v == nil {
+		return false
+	}
+	v = r.f.Canonical(v)
+	if v.Kind != KindRangeIndex || v.Range == nil {
+		return false
+	}
+	// The range must iterate the same container.
+	if !r.termMatches(x.X, v.Range.X) {
+		return false
+	}
+	// The body block: the range head's first successor.
+	head := v.Block
+	if head == nil || len(head.Succs) == 0 {
+		return false
+	}
+	body := head.Succs[0]
+	return r.f.Dom.Dominates(body, b)
+}
+
+// rangeLenFactProof: the index is the key of a range over a different
+// container E, an iteration is in flight (the range body dominates the
+// block), and a dominating fact proves len(base) >= len(E) — so
+// key < len(E) <= len(base). Matching the fact's operands against the
+// queried base and the range operand by SSA value (or stable chain) pins
+// both lengths: slice values are immutable, so a matched length cannot
+// have changed between the guard and the use.
+func (r *Ranges) rangeLenFactProof(x *ast.IndexExpr, b *flow.Block) bool {
+	id, ok := ast.Unparen(x.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := r.f.UseVal[id]
+	if v == nil {
+		return false
+	}
+	v = r.f.Canonical(v)
+	if v.Kind != KindRangeIndex || v.Range == nil {
+		return false
+	}
+	head := v.Block
+	if head == nil || len(head.Succs) == 0 || !r.f.Dom.Dominates(head.Succs[0], b) {
+		return false
+	}
+	over := v.Range.X
+	for _, fact := range r.f.FactsAt(b) {
+		be, ok := ast.Unparen(fact.Cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		op := be.Op
+		var rhs ast.Expr
+		switch {
+		case r.isLenOf(be.X, x.X):
+			rhs = be.Y
+		case r.isLenOf(be.Y, x.X):
+			op = flipRel(op)
+			rhs = be.X
+		default:
+			continue
+		}
+		if !fact.Truth {
+			op = negateRel(op)
+		}
+		off, split := r.splitLenOffset(rhs, over)
+		if !split {
+			continue
+		}
+		// len(base) OP len(over)+off must imply len(base) >= len(over).
+		switch op {
+		case token.GEQ, token.EQL:
+			if off >= 0 {
+				return true
+			}
+		case token.GTR:
+			if off >= -1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// factUpperBoundProof: some dominating fact pins idx < len(base)+c with
+// c <= 0 (or <=, c <= -1; or == len(base)+c, c <= -1; reversed forms
+// normalized via flipRel).
+func (r *Ranges) factUpperBoundProof(idx, base ast.Expr, b *flow.Block) bool {
+	for _, fact := range r.f.FactsAt(b) {
+		be, ok := ast.Unparen(fact.Cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		op := be.Op
+		var rhs ast.Expr
+		switch {
+		case r.termMatches(idx, be.X):
+			rhs = be.Y
+		case r.termMatches(idx, be.Y):
+			op = flipRel(op)
+			rhs = be.X
+		default:
+			continue
+		}
+		if !fact.Truth {
+			op = negateRel(op)
+		}
+		var need int64 // max allowed offset for idx OP len(base)+off
+		switch op {
+		case token.LSS:
+			need = 0
+		case token.LEQ, token.EQL:
+			need = -1
+		default:
+			continue
+		}
+		off, lenOK := r.splitLenOffset(rhs, base)
+		if lenOK && off <= need {
+			return true
+		}
+	}
+	return false
+}
+
+// splitLenOffset decomposes e as len(base)+off (or len(base)-off), with
+// off constant, and base matching the queried container. A bare tracked
+// identifier whose definition is `n := len(base)` also matches, one copy
+// deep.
+func (r *Ranges) splitLenOffset(e ast.Expr, base ast.Expr) (off int64, ok bool) {
+	e = ast.Unparen(e)
+	if be, isBin := e.(*ast.BinaryExpr); isBin && (be.Op == token.ADD || be.Op == token.SUB) {
+		if c, isC := r.constOf(be.Y); isC {
+			inner, innerOK := r.splitLenOffset(be.X, base)
+			if innerOK {
+				if be.Op == token.SUB {
+					c = -c
+				}
+				return inner + c, true
+			}
+		}
+		if be.Op == token.ADD {
+			if c, isC := r.constOf(be.X); isC {
+				inner, innerOK := r.splitLenOffset(be.Y, base)
+				if innerOK {
+					return inner + c, true
+				}
+			}
+		}
+		return 0, false
+	}
+	if r.isLenOf(e, base) {
+		return 0, true
+	}
+	// One copy deep: n := len(base).
+	if id, isID := e.(*ast.Ident); isID {
+		if v := r.f.UseVal[id]; v != nil {
+			v = r.f.Canonical(v)
+			if v.Kind == KindExpr && v.Rhs != nil && r.isLenOf(ast.Unparen(v.Rhs), base) {
+				return 0, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (r *Ranges) isLenOf(e ast.Expr, base ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return false
+	}
+	if _, isB := r.f.Info.Uses[id].(*types.Builtin); !isB {
+		return false
+	}
+	return r.termMatches(call.Args[0], base) || r.termMatches(base, call.Args[0])
+}
+
+func (r *Ranges) constOf(e ast.Expr) (int64, bool) {
+	if tv, ok := r.f.Info.Types[e]; ok && tv.Value != nil {
+		if i, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// lenMinusConstProof: the index IS len(base)-c (c >= 1 constant), so the
+// upper bound holds definitionally; the caller checked lo >= 0 already
+// (from e.g. a len(base) > 0 guard), or we recheck here.
+func (r *Ranges) lenMinusConstProof(idx, base ast.Expr, b *flow.Block) bool {
+	resolved := ast.Unparen(idx)
+	// Look through one definition: i := len(s)-1.
+	if id, isID := resolved.(*ast.Ident); isID {
+		if v := r.f.UseVal[id]; v != nil {
+			v = r.f.Canonical(v)
+			if v.Kind == KindExpr && v.Rhs != nil {
+				resolved = ast.Unparen(v.Rhs)
+			}
+		}
+	}
+	off, ok := r.splitLenOffset(resolved, base)
+	if !ok || off > -1 {
+		return false
+	}
+	lo, loOK := r.EvalAt(idx, b).Lo()
+	return loOK && lo >= 0
+}

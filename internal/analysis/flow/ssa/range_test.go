@@ -1,0 +1,454 @@
+package ssa
+
+import (
+	"go/ast"
+	"testing"
+
+	"logicregression/internal/analysis/flow"
+)
+
+// indexExprs collects every IndexExpr in the function, paired with its
+// block, in source order.
+func indexExprs(f *Func) []struct {
+	x *ast.IndexExpr
+	b *flow.Block
+} {
+	var out []struct {
+		x *ast.IndexExpr
+		b *flow.Block
+	}
+	for _, b := range f.CFG.Blocks {
+		for _, n := range b.Nodes {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				n = rs.X // the body belongs to other blocks
+			}
+			blk := b
+			ast.Inspect(n, func(m ast.Node) bool {
+				if ix, ok := m.(*ast.IndexExpr); ok {
+					out = append(out, struct {
+						x *ast.IndexExpr
+						b *flow.Block
+					}{ix, blk})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func shiftExprs(f *Func) []struct {
+	e *ast.BinaryExpr
+	b *flow.Block
+} {
+	var out []struct {
+		e *ast.BinaryExpr
+		b *flow.Block
+	}
+	for _, b := range f.CFG.Blocks {
+		for _, n := range b.Nodes {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				n = rs.X
+			}
+			blk := b
+			ast.Inspect(n, func(m ast.Node) bool {
+				if be, ok := m.(*ast.BinaryExpr); ok && (be.Op.String() == "<<" || be.Op.String() == ">>") {
+					out = append(out, struct {
+						e *ast.BinaryExpr
+						b *flow.Block
+					}{be, blk})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func TestRangeMaskedShiftProven(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(k int) uint64 {
+	return 1 << uint(k&63)
+}
+`, "f")
+	r := InferRanges(f)
+	shifts := shiftExprs(f)
+	if len(shifts) != 1 {
+		t.Fatalf("want 1 shift, got %d", len(shifts))
+	}
+	if !r.ProveShift(shifts[0].e.Y, 64, shifts[0].b) {
+		t.Errorf("k&63 must prove < 64; interval %v", r.EvalAt(shifts[0].e.Y, shifts[0].b))
+	}
+}
+
+func TestRangeUnboundedShiftNotProven(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(k int) uint64 {
+	return 1 << uint(k)
+}
+`, "f")
+	r := InferRanges(f)
+	shifts := shiftExprs(f)
+	if r.ProveShift(shifts[0].e.Y, 64, shifts[0].b) {
+		t.Error("unbounded k must not prove < 64")
+	}
+}
+
+// The uint-conversion pitfall: `k < 64` does NOT bound uint(k) when k may
+// be negative — the conversion wraps to a huge value.
+func TestRangeUintConversionPitfall(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(k int) uint64 {
+	if k < 64 {
+		return 1 << uint(k)
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	shifts := shiftExprs(f)
+	if r.ProveShift(shifts[0].e.Y, 64, shifts[0].b) {
+		t.Error("k < 64 alone must not prove uint(k) < 64 (negative k wraps)")
+	}
+}
+
+func TestRangeConjunctionGuardProves(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(k int) uint64 {
+	if k >= 0 && k < 64 {
+		return 1 << uint(k)
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	shifts := shiftExprs(f)
+	if !r.ProveShift(shifts[0].e.Y, 64, shifts[0].b) {
+		t.Errorf("0 <= k < 64 guard must prove the shift; interval %v",
+			r.EvalAt(shifts[0].e.Y, shifts[0].b))
+	}
+}
+
+// The tt.Var idiom: an early panic-return guard refines the fall-through.
+func TestRangePanicGuardRefines(t *testing.T) {
+	f := buildFunc(t, `package x
+var masks [6]uint64
+func f(i int) uint64 {
+	if i < 0 || i >= 6 {
+		panic("out of range")
+	}
+	return masks[i]
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if len(idx) != 1 {
+		t.Fatalf("want 1 index, got %d", len(idx))
+	}
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Errorf("guarded array index must prove in-bounds; interval %v",
+			r.EvalAt(idx[0].x.Index, idx[0].b))
+	}
+}
+
+func TestRangeArrayIndexUnguardedNotProven(t *testing.T) {
+	f := buildFunc(t, `package x
+var masks [6]uint64
+func f(i int) uint64 {
+	return masks[i]
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("unguarded array index must not prove")
+	}
+}
+
+func TestRangeKeyProvesSliceIndex(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs []int) int {
+	s := 0
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if len(idx) != 1 {
+		t.Fatalf("want 1 index, got %d", len(idx))
+	}
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("range key over same slice must prove in-bounds")
+	}
+}
+
+func TestRangeKeyOverOtherSliceNotProven(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs, ys []int) int {
+	s := 0
+	for i := range xs {
+		s += ys[i]
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("range key over a different slice must not prove")
+	}
+}
+
+func TestRangeLenFactProves(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs []int, i int) int {
+	if i >= 0 && i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("i < len(xs) guard must prove in-bounds")
+	}
+}
+
+func TestRangeLenCopyFactProves(t *testing.T) {
+	// The bound goes through a copy: n := len(xs).
+	f := buildFunc(t, `package x
+func f(xs []int, i int) int {
+	n := len(xs)
+	if i >= 0 && i < n {
+		return xs[i]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("i < n with n := len(xs) must prove in-bounds")
+	}
+}
+
+func TestRangeLenMinusOneProves(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs []int) int {
+	if len(xs) > 0 {
+		return xs[len(xs)-1]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("xs[len(xs)-1] under len(xs) > 0 must prove in-bounds")
+	}
+}
+
+func TestRangeLenMinusOneUnguardedNotProven(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs []int) int {
+	return xs[len(xs)-1]
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("xs[len(xs)-1] without a guard must not prove (empty slice)")
+	}
+}
+
+// Chain facts: a bound through a struct field survives element writes but
+// must die on a header reassignment.
+func TestRangeChainFactStable(t *testing.T) {
+	f := buildFunc(t, `package x
+type V struct{ words []uint64 }
+func f(v *V, i int) uint64 {
+	if i >= 0 && i < len(v.words) {
+		return v.words[i]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("i < len(v.words) must prove with a stable chain")
+	}
+}
+
+func TestRangeChainFactInvalidatedByReassign(t *testing.T) {
+	f := buildFunc(t, `package x
+type V struct{ words []uint64 }
+func f(v *V, i int) uint64 {
+	if i >= 0 && i < len(v.words) {
+		v.words = nil
+		return v.words[i]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("reassigning v.words must invalidate the len fact")
+	}
+}
+
+func TestRangeChainFactSurvivesElementWrite(t *testing.T) {
+	f := buildFunc(t, `package x
+type V struct{ words []uint64 }
+func f(v *V, i int) uint64 {
+	if i >= 0 && i < len(v.words) {
+		v.words[i] = 7
+		return v.words[i]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	for _, ix := range idx {
+		if !r.ProveInBounds(ix.x, ix.b) {
+			t.Error("an element write must not invalidate the len fact")
+		}
+	}
+}
+
+func TestRangeReassignmentKillsFact(t *testing.T) {
+	// SSA precision: after i is reassigned, the old fact must not apply.
+	f := buildFunc(t, `package x
+func f(xs []int, i int) int {
+	if i >= 0 && i < len(xs) {
+		i = i + len(xs)
+		return xs[i]
+	}
+	return 0
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("fact about the old SSA value must not prove the reassigned index")
+	}
+}
+
+// The kernel-prologue idiom: range over one slice, index another, with an
+// explicit length guard up front.
+func TestRangeLenFactCrossSliceProves(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs, ys []int) int {
+	if len(ys) < len(xs) {
+		return 0
+	}
+	s := 0
+	for i := range xs {
+		s += ys[i]
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if len(idx) != 1 {
+		t.Fatalf("want 1 index, got %d", len(idx))
+	}
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("len(ys) >= len(xs) guard must prove ys[i] under range over xs")
+	}
+}
+
+func TestRangeLenFactEqualityProves(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs, ys []int) int {
+	if len(xs) != len(ys) {
+		return 0
+	}
+	s := 0
+	for i := range xs {
+		s += ys[i]
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if !r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("len(xs) == len(ys) guard must prove ys[i] under range over xs")
+	}
+}
+
+// Soundness: the inequality must point the right way — len(xs) >= len(ys)
+// says nothing about indexing ys by a key bounded by len(xs).
+func TestRangeLenFactWrongDirectionNotProven(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs, ys []int) int {
+	if len(xs) < len(ys) {
+		return 0
+	}
+	s := 0
+	for i := range xs {
+		s += ys[i]
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("len(xs) >= len(ys) must not prove ys[i]: ys may be shorter")
+	}
+}
+
+// Soundness: reassigning the indexed slice after the guard breaks the SSA
+// match, so the old length fact must not carry over.
+func TestRangeLenFactReassignedBaseNotProven(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs, ys []int) int {
+	if len(ys) < len(xs) {
+		return 0
+	}
+	ys = ys[:0]
+	s := 0
+	for i := range xs {
+		s += ys[i]
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("reassigned ys must not inherit the pre-guard length fact")
+	}
+}
+
+func TestRangeWideningTerminates(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`, "f")
+	r := InferRanges(f)
+	// Find the return's block and check s stays non-negative: i starts
+	// at 0 and only grows, so s = sum of non-negatives.
+	blk, ret := lastReturnBlock(f)
+	iv := r.EvalAt(ret.Results[0], blk)
+	if lo, ok := iv.Lo(); !ok || lo < 0 {
+		t.Errorf("accumulator of non-negatives: lower bound should be >= 0, got %v", iv)
+	}
+	if _, ok := iv.Hi(); ok {
+		t.Errorf("accumulator must be unbounded above after widening, got %v", iv)
+	}
+}

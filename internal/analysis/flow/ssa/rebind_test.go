@@ -1,0 +1,100 @@
+package ssa
+
+import (
+	"go/ast"
+	"testing"
+
+	"logicregression/internal/analysis/flow"
+)
+
+// The evaluator shape from internal/circuit: the guarded lengths are reached
+// through a local rebind (c := e.c) and a header-safe method call sits
+// between the guards and the loop. Both loop indexes must prove — the rebind
+// is a declaration, not a chain-invalidating write, and the callee summary
+// carries len(c.pos) across the call.
+const srcEvalWordsShape = `package x
+
+type circuit struct {
+	nodes []int
+	pis   []int
+	pos   []int
+}
+
+func (c *circuit) evalWords(inputs, vals []uint64) {
+	for id := range c.nodes {
+		vals[id] = 0
+	}
+}
+
+type evaluator struct {
+	c    *circuit
+	vals []uint64
+}
+
+func (e *evaluator) evalWordsInto(inputs, out []uint64) {
+	c := e.c
+	if len(inputs) != len(c.pis) {
+		panic("inputs")
+	}
+	if len(out) != len(c.pos) {
+		panic("out")
+	}
+	if len(e.vals) < len(c.nodes) {
+		e.vals = make([]uint64, len(c.nodes))
+	}
+	vals := e.vals[:len(c.nodes)]
+	c.evalWords(inputs, vals)
+	for i, s := range c.pos {
+		if s < 0 || s >= len(vals) {
+			panic("po")
+		}
+		out[i] = vals[s]
+	}
+}
+`
+
+func TestRangeProofThroughLocalRebindAndCall(t *testing.T) {
+	fset, file, info := parseWholeFile(t, srcEvalWordsShape)
+	hs := HeaderSafeFuncs(flow.BuildCallGraph([]*ast.File{file}, info), info)
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "evalWordsInto" {
+			fd = x
+		}
+	}
+	f := Build(fd, info, &Options{HeaderSafe: hs})
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if len(idx) != 2 {
+		t.Fatalf("want 2 index exprs, got %d", len(idx))
+	}
+	for _, ix := range idx {
+		if !r.ProveInBounds(ix.x, ix.b) {
+			t.Errorf("index at %v not proved in bounds", fset.Position(ix.x.Pos()))
+		}
+	}
+}
+
+// A plain reassignment (=) of the chain root is a real rebinding and must
+// still invalidate the chain: the fact below is about the first s, the use
+// is of the second.
+func TestChainStableRootReassignmentInvalidates(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(xs, ys []int, i int) int {
+	s := xs
+	if i < 0 || i >= len(s) {
+		return 0
+	}
+	s = ys
+	return s[i]
+}
+`, "f")
+	r := InferRanges(f)
+	idx := indexExprs(f)
+	if len(idx) != 1 {
+		t.Fatalf("want 1 index expr, got %d", len(idx))
+	}
+	if r.ProveInBounds(idx[0].x, idx[0].b) {
+		t.Error("guard on the old binding of s must not prove s[i] after s = ys")
+	}
+}

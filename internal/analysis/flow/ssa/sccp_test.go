@@ -1,0 +1,186 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/constant"
+	"testing"
+
+	"logicregression/internal/analysis/flow"
+)
+
+// lastReturnBlock finds the block holding the function's final return.
+func lastReturnBlock(f *Func) (*flow.Block, *ast.ReturnStmt) {
+	var blk *flow.Block
+	var ret *ast.ReturnStmt
+	for _, b := range f.CFG.Blocks {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				if ret == nil || r.Pos() > ret.Pos() {
+					blk, ret = b, r
+				}
+			}
+		}
+	}
+	return blk, ret
+}
+
+func constAtReturn(t *testing.T, src string) (int64, bool) {
+	t.Helper()
+	f := buildFunc(t, src, "f")
+	s := RunSCCP(f)
+	blk, ret := lastReturnBlock(f)
+	if ret == nil || len(ret.Results) != 1 {
+		t.Fatal("fixture needs a single-result return")
+	}
+	v, ok := s.ConstAt(ret.Results[0], blk)
+	if !ok {
+		return 0, false
+	}
+	i, exact := constant.Int64Val(constant.ToInt(v))
+	if !exact {
+		return 0, false
+	}
+	return i, true
+}
+
+func TestSCCPStraightLine(t *testing.T) {
+	got, ok := constAtReturn(t, `package x
+func f() int {
+	a := 3
+	b := a*4 + 1
+	c := b << 2
+	return c - 2
+}
+`)
+	if !ok || got != 50 {
+		t.Errorf("got %d (ok=%v), want 50", got, ok)
+	}
+}
+
+func TestSCCPSameConstBothArms(t *testing.T) {
+	got, ok := constAtReturn(t, `package x
+func f(cond bool) int {
+	c := 0
+	if cond {
+		c = 5
+	} else {
+		c = 5
+	}
+	return c
+}
+`)
+	if !ok || got != 5 {
+		t.Errorf("phi of equal constants: got %d (ok=%v), want 5", got, ok)
+	}
+}
+
+func TestSCCPBranchPruning(t *testing.T) {
+	// The else arm assigns 9, but SCCP proves the condition true and
+	// prunes the edge, so the phi collapses to 2.
+	got, ok := constAtReturn(t, `package x
+func f() int {
+	x := 1
+	y := 0
+	if x == 1 {
+		y = 2
+	} else {
+		y = 9
+	}
+	return y
+}
+`)
+	if !ok || got != 2 {
+		t.Errorf("pruned phi: got %d (ok=%v), want 2", got, ok)
+	}
+}
+
+func TestSCCPLoopVarNotConst(t *testing.T) {
+	if _, ok := constAtReturn(t, `package x
+func f() int {
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	return s
+}
+`); ok {
+		t.Error("loop accumulator must not fold to a constant")
+	}
+}
+
+func TestSCCPParamNotConst(t *testing.T) {
+	if _, ok := constAtReturn(t, `package x
+func f(n int) int {
+	return n + 1
+}
+`); ok {
+		t.Error("parameter-derived value must not fold")
+	}
+}
+
+func TestSCCPBranchConstAndReachability(t *testing.T) {
+	f := buildFunc(t, `package x
+func f() int {
+	debug := false
+	if debug {
+		return 1
+	}
+	return 0
+}
+`, "f")
+	s := RunSCCP(f)
+	var condBlk *flow.Block
+	for _, b := range f.CFG.Blocks {
+		if b.Cond != nil && len(b.Succs) == 2 {
+			condBlk = b
+		}
+	}
+	if condBlk == nil {
+		t.Fatal("no branch block found")
+	}
+	truth, ok := s.BranchConst(condBlk)
+	if !ok || truth {
+		t.Errorf("branch verdict: got (%v, %v), want (false, true)", truth, ok)
+	}
+	// The then-arm (true successor) must be unreachable.
+	if s.Reachable(condBlk.Succs[0]) {
+		t.Error("pruned then-arm still marked reachable")
+	}
+	if !s.Reachable(condBlk.Succs[1]) {
+		t.Error("taken else-edge must stay reachable")
+	}
+}
+
+func TestSCCPWrapsToTypeWidth(t *testing.T) {
+	got, ok := constAtReturn(t, `package x
+func f() int {
+	x := uint8(200)
+	y := x + x // wraps mod 256
+	return int(y)
+}
+`)
+	if !ok || got != 144 {
+		t.Errorf("uint8 wraparound: got %d (ok=%v), want 144", got, ok)
+	}
+}
+
+func TestSCCPShortCircuit(t *testing.T) {
+	f := buildFunc(t, `package x
+func f(n int) int {
+	never := false
+	if never && n > 3 {
+		return 1
+	}
+	return 0
+}
+`, "f")
+	s := RunSCCP(f)
+	for _, b := range f.CFG.Blocks {
+		if b.Cond != nil && len(b.Succs) == 2 {
+			truth, ok := s.BranchConst(b)
+			if !ok || truth {
+				t.Errorf("short-circuit &&: got (%v, %v), want (false, true)", truth, ok)
+			}
+		}
+	}
+}

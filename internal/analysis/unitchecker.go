@@ -72,7 +72,7 @@ func Main(analyzers ...*Analyzer) {
 // Version participates in the go command's content hash for cached vet
 // results and in every analysis-cache key; bump it when analyzer behaviour
 // changes.
-const Version = "repolint-4.0"
+const Version = "repolint-5.0"
 
 // modulePrefix gates which dependency-only vet units are worth running the
 // fact producers on: facts only exist for this module's own packages.

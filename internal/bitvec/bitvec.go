@@ -50,23 +50,35 @@ func FromUint(x uint64, n int) *Vector {
 // Len returns the number of bits.
 func (v *Vector) Len() int { return v.n }
 
+// The bit accessors below inline their bounds check instead of calling a
+// shared helper: the explicit w >= len(v.words) comparison subsumes the
+// implicit check the compiler would otherwise emit at every v.words[w],
+// and hands the bound to the range prover (and the compiler's BCE), which
+// reason function-locally.
+
 // Get returns bit i.
 //
 //logicreg:hotpath
 func (v *Vector) Get(i int) bool {
-	v.check(i)
-	return v.words[i>>6]>>(uint(i)&63)&1 == 1
+	w := i >> 6
+	if i < 0 || i >= v.n || w >= len(v.words) {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[w]>>(uint(i)&63)&1 == 1
 }
 
 // Set sets bit i to b.
 //
 //logicreg:hotpath
 func (v *Vector) Set(i int, b bool) {
-	v.check(i)
+	w := i >> 6
+	if i < 0 || i >= v.n || w >= len(v.words) {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
 	if b {
-		v.words[i>>6] |= 1 << (uint(i) & 63)
+		v.words[w] |= 1 << (uint(i) & 63)
 	} else {
-		v.words[i>>6] &^= 1 << (uint(i) & 63)
+		v.words[w] &^= 1 << (uint(i) & 63)
 	}
 }
 
@@ -74,14 +86,11 @@ func (v *Vector) Set(i int, b bool) {
 //
 //logicreg:hotpath
 func (v *Vector) Flip(i int) {
-	v.check(i)
-	v.words[i>>6] ^= 1 << (uint(i) & 63)
-}
-
-func (v *Vector) check(i int) {
-	if i < 0 || i >= v.n {
+	w := i >> 6
+	if i < 0 || i >= v.n || w >= len(v.words) {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
 	}
+	v.words[w] ^= 1 << (uint(i) & 63)
 }
 
 // Clone returns an independent copy of v.
@@ -109,7 +118,7 @@ func (v *Vector) eq(w *Vector) {
 //
 //logicreg:hotpath
 func (v *Vector) Equal(w *Vector) bool {
-	if v.n != w.n {
+	if v.n != w.n || len(v.words) != len(w.words) {
 		return false
 	}
 	for i, x := range v.words {
@@ -171,6 +180,9 @@ func (v *Vector) maskTail() {
 func (v *Vector) And(x, y *Vector) {
 	v.eq(x)
 	v.eq(y)
+	if len(x.words) < len(v.words) || len(y.words) < len(v.words) {
+		panic("bitvec: inconsistent word slice length")
+	}
 	for i := range v.words {
 		v.words[i] = x.words[i] & y.words[i]
 	}
@@ -182,6 +194,9 @@ func (v *Vector) And(x, y *Vector) {
 func (v *Vector) Or(x, y *Vector) {
 	v.eq(x)
 	v.eq(y)
+	if len(x.words) < len(v.words) || len(y.words) < len(v.words) {
+		panic("bitvec: inconsistent word slice length")
+	}
 	for i := range v.words {
 		v.words[i] = x.words[i] | y.words[i]
 	}
@@ -193,6 +208,9 @@ func (v *Vector) Or(x, y *Vector) {
 func (v *Vector) Xor(x, y *Vector) {
 	v.eq(x)
 	v.eq(y)
+	if len(x.words) < len(v.words) || len(y.words) < len(v.words) {
+		panic("bitvec: inconsistent word slice length")
+	}
 	for i := range v.words {
 		v.words[i] = x.words[i] ^ y.words[i]
 	}
@@ -203,6 +221,9 @@ func (v *Vector) Xor(x, y *Vector) {
 //logicreg:hotpath
 func (v *Vector) Not(x *Vector) {
 	v.eq(x)
+	if len(x.words) < len(v.words) {
+		panic("bitvec: inconsistent word slice length")
+	}
 	for i := range v.words {
 		v.words[i] = ^x.words[i]
 	}

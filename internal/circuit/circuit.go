@@ -347,9 +347,13 @@ func (e *Evaluator) EvalWordsInto(inputs, out []uint64) {
 		//logicreg:allow hotalloc amortized scratch growth, only when the circuit grew
 		e.vals = make([]uint64, len(c.nodes))
 	}
-	c.evalWords(inputs, e.vals[:len(c.nodes)])
+	vals := e.vals[:len(c.nodes)]
+	c.evalWords(inputs, vals)
 	for i, s := range c.pos {
-		out[i] = e.vals[s]
+		if s < 0 || s >= len(vals) {
+			panic(fmt.Sprintf("circuit: PO %d signal %d out of range", i, s))
+		}
+		out[i] = vals[s]
 	}
 }
 
@@ -373,12 +377,28 @@ func (c *Circuit) EvalSignalWords(inputs []uint64, sigs ...Signal) []uint64 {
 // evalWords is the 64-way simulation kernel shared by every Eval entry
 // point: one word op per gate, no allocation.
 //
+// The explicit prologue and fanin guards restate the circuit invariants
+// (vals covers every node, fanins point below the current node) where the
+// bounds-check eliminator — ours and the compiler's — can see them, so the
+// per-gate slice loads compile without implicit checks.
+//
 //logicreg:hotpath
 func (c *Circuit) evalWords(inputs []uint64, vals []uint64) {
+	nodes := c.nodes
+	if len(vals) < len(nodes) {
+		panic(fmt.Sprintf("circuit: evalWords got %d value words for %d nodes", len(vals), len(nodes)))
+	}
 	pi := 0
-	for id, n := range c.nodes {
+	for id, n := range nodes {
+		in0, in1 := n.In0, n.In1
+		if in0 < 0 || in0 >= len(vals) || in1 < 0 || in1 >= len(vals) {
+			panic(fmt.Sprintf("circuit: node %d fanin out of range", id))
+		}
 		switch n.Type {
 		case PI:
+			if pi >= len(inputs) {
+				panic("circuit: more PI nodes than input words")
+			}
 			vals[id] = inputs[pi]
 			pi++
 		case Const0:
@@ -386,21 +406,21 @@ func (c *Circuit) evalWords(inputs []uint64, vals []uint64) {
 		case Const1:
 			vals[id] = ^uint64(0)
 		case Not:
-			vals[id] = ^vals[n.In0]
+			vals[id] = ^vals[in0]
 		case Buf:
-			vals[id] = vals[n.In0]
+			vals[id] = vals[in0]
 		case And:
-			vals[id] = vals[n.In0] & vals[n.In1]
+			vals[id] = vals[in0] & vals[in1]
 		case Or:
-			vals[id] = vals[n.In0] | vals[n.In1]
+			vals[id] = vals[in0] | vals[in1]
 		case Xor:
-			vals[id] = vals[n.In0] ^ vals[n.In1]
+			vals[id] = vals[in0] ^ vals[in1]
 		case Nand:
-			vals[id] = ^(vals[n.In0] & vals[n.In1])
+			vals[id] = ^(vals[in0] & vals[in1])
 		case Nor:
-			vals[id] = ^(vals[n.In0] | vals[n.In1])
+			vals[id] = ^(vals[in0] | vals[in1])
 		case Xnor:
-			vals[id] = ^(vals[n.In0] ^ vals[n.In1])
+			vals[id] = ^(vals[in0] ^ vals[in1])
 		default:
 			panic(fmt.Sprintf("circuit: unknown gate type %v", n.Type))
 		}
